@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build vet test bench figures examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B bench per paper figure at the repo root, plus the
+# substrate micro-benchmarks in each package.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper's evaluation at full scale.
+figures:
+	$(GO) run ./cmd/asmbench -figure all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/genealogy
+	$(GO) run ./examples/cad
+	$(GO) run ./examples/stacked
+	$(GO) run ./examples/parallel
+	$(GO) run ./examples/reveal
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt db.pages db.manifest

@@ -1,0 +1,83 @@
+// Command asmbench regenerates the evaluation of "Efficient Assembly
+// of Complex Objects" (Keller, Graefe, Maier, SIGMOD 1991): every
+// figure of Section 6 plus this reproduction's ablations, printed as
+// text tables.
+//
+// Usage:
+//
+//	asmbench [-figure all|fig11a|fig11b|fig11c|fig13a|fig13b|fig13c|
+//	          fig14|fig15|fig16|footprint|buffer-window|multi-device|page-batch]
+//	         [-scale 1.0]
+//
+// -scale shrinks the database sizes for quick runs (0.1 → 100–400
+// complex objects); 1.0 reproduces the paper's 1000–4000.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"revelation/internal/bench"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "figure id to regenerate (fig11a..fig16, footprint, buffer-window, multi-device, page-batch), or 'all'")
+	scale := flag.Float64("scale", 1.0, "database size scale factor (1.0 = paper scale)")
+	flag.Parse()
+
+	r := bench.NewRunner()
+	start := time.Now()
+	var figs []bench.Figure
+	var err error
+	switch strings.ToLower(*figure) {
+	case "all":
+		figs, err = r.AllFigures(*scale)
+	case "fig11a":
+		figs, err = one(r.FigScheduling(1, 'a', *scale))
+	case "fig11b":
+		figs, err = one(r.FigScheduling(1, 'b', *scale))
+	case "fig11c":
+		figs, err = one(r.FigScheduling(1, 'c', *scale))
+	case "fig13a":
+		figs, err = one(r.FigScheduling(50, 'a', *scale))
+	case "fig13b":
+		figs, err = one(r.FigScheduling(50, 'b', *scale))
+	case "fig13c":
+		figs, err = one(r.FigScheduling(50, 'c', *scale))
+	case "fig14":
+		figs, err = one(r.Fig14(*scale))
+	case "fig15":
+		figs, err = one(r.Fig15(*scale))
+	case "fig16":
+		figs, err = one(r.Fig16(*scale))
+	case "footprint":
+		figs, err = one(r.WindowFootprint(*scale))
+	case "buffer-window":
+		figs, err = one(r.BufferWindow(*scale))
+	case "multi-device", "multidev":
+		figs, err = one(r.MultiDevice(*scale))
+	case "page-batch", "pagebatch":
+		figs, err = one(r.PageBatch(*scale))
+	default:
+		fmt.Fprintf(os.Stderr, "asmbench: unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asmbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, f := range figs {
+		fmt.Println(f.Table())
+	}
+	fmt.Printf("completed in %v (scale %.2f)\n", time.Since(start).Round(time.Millisecond), *scale)
+}
+
+func one(f bench.Figure, err error) ([]bench.Figure, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []bench.Figure{f}, nil
+}

@@ -1,0 +1,123 @@
+// Command asmquery runs a selection query against a database generated
+// by cmd/dbgen, either naively (object-at-a-time) or revealed into an
+// assembly-operator plan, and reports the results alongside the disk
+// statistics — the Figure 1 flow from the command line.
+//
+// The query predicate is a comparison on the `rand` attribute
+// (uniform over [0,1000)) of one template component:
+//
+//	asmquery -db db.pages -manifest db.manifest \
+//	         -node G -field rand -lt 150 -mode both -window 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"revelation/internal/assembly"
+	"revelation/internal/expr"
+	"revelation/internal/gen"
+	"revelation/internal/query"
+	"revelation/internal/volcano"
+)
+
+func main() {
+	dbPath := flag.String("db", "db.pages", "device file")
+	manifest := flag.String("manifest", "db.manifest", "manifest file")
+	node := flag.String("node", "G", "template component the predicate applies to (A..G)")
+	lt := flag.Int("lt", 500, "predicate: rand < this value (0..1000)")
+	mode := flag.String("mode", "both", "naive | revealed | both")
+	templatePath := flag.String("template", "", "optional template JSON (see assembly.MarshalTemplateJSON); overrides the manifest template and may carry its own predicates")
+	window := flag.Int("window", 50, "assembly window size")
+	bufferPages := flag.Int("buffer", 256, "buffer pool pages")
+	explain := flag.Bool("explain", true, "print the revealed plan")
+	flag.Parse()
+
+	db, err := gen.OpenDatabase(*dbPath, *manifest, *bufferPages)
+	if err != nil {
+		fail("open: %v", err)
+	}
+	defer db.Device.Close()
+
+	tmpl := db.Template
+	if *templatePath != "" {
+		data, err := os.ReadFile(*templatePath)
+		if err != nil {
+			fail("template: %v", err)
+		}
+		tmpl, err = assembly.UnmarshalTemplateJSON(data, db.Store.Catalog)
+		if err != nil {
+			fail("template: %v", err)
+		}
+	}
+	target := tmpl.FindByName(*node)
+	if target == nil {
+		fail("no template component %q (template:\n%s)", *node, tmpl)
+	}
+	q := &query.Query{
+		Template: tmpl,
+		Roots:    db.Roots,
+		NodePreds: map[string]expr.Predicate{
+			*node: expr.IntCmp{Field: 1, Op: expr.LT, Value: int32(*lt), Sel: float64(*lt) / 1000},
+		},
+	}
+	opts := assembly.Options{Window: *window, Scheduler: assembly.Elevator,
+		UseSharingStats: db.Config.Sharing > 0}
+
+	fmt.Printf("query: %s.rand < %d over %d complex objects (%v clustering)\n",
+		*node, *lt, len(db.Roots), db.Config.Clustering)
+
+	if *explain && *mode != "naive" {
+		plan, err := query.Reveal(db.Store, q, opts)
+		if err != nil {
+			fail("reveal: %v", err)
+		}
+		fmt.Println("\nrevealed plan:")
+		for _, line := range strings.Split(strings.TrimSpace(volcano.Explain(plan)), "\n") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	cold := func() {
+		if err := db.Pool.EvictAll(); err != nil {
+			fail("evict: %v", err)
+		}
+		db.Pool.ResetStats()
+		db.Device.ResetStats()
+		db.Device.ResetHead()
+	}
+	fmt.Println()
+	var naiveN, revN = -1, -1
+	if *mode == "naive" || *mode == "both" {
+		cold()
+		res, err := query.NaiveExec(db.Store, q)
+		if err != nil {
+			fail("naive: %v", err)
+		}
+		st := db.Device.Stats()
+		naiveN = len(res)
+		fmt.Printf("naive:    %5d results, %7d reads, avg seek %8.1f pages\n",
+			len(res), st.Reads, st.AvgSeekPerRead())
+	}
+	if *mode == "revealed" || *mode == "both" {
+		cold()
+		res, err := query.RevealExec(db.Store, q, opts)
+		if err != nil {
+			fail("revealed: %v", err)
+		}
+		st := db.Device.Stats()
+		revN = len(res)
+		fmt.Printf("revealed: %5d results, %7d reads, avg seek %8.1f pages\n",
+			len(res), st.Reads, st.AvgSeekPerRead())
+	}
+	if naiveN >= 0 && revN >= 0 && naiveN != revN {
+		fail("plans disagree: naive %d, revealed %d", naiveN, revN)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "asmquery: "+format+"\n", args...)
+	os.Exit(1)
+}

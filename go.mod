@@ -1,0 +1,3 @@
+module revelation
+
+go 1.22

@@ -1,0 +1,99 @@
+package assembly_test
+
+import (
+	"testing"
+
+	"revelation/internal/assembly"
+	"revelation/internal/gen"
+	"revelation/internal/volcano"
+)
+
+// Per-operator micro-benchmarks: cost of assembling one complex object
+// under each scheduler, and the shared-table and swizzling overheads.
+
+func benchDB(b *testing.B, cfg gen.Config) *gen.Database {
+	b.Helper()
+	db, err := gen.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func benchAssemble(b *testing.B, db *gen.Database, opts assembly.Options) {
+	b.Helper()
+	items := make([]volcano.Item, len(db.Roots))
+	for i, r := range db.Roots {
+		items[i] = r
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := db.Pool.EvictAll(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		op := assembly.New(volcano.NewSlice(items), db.Store, db.Template, opts)
+		n, err := volcano.Count(op)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != len(db.Roots) {
+			b.Fatalf("assembled %d", n)
+		}
+	}
+	b.ReportMetric(float64(len(db.Roots)*db.NodesPerObject), "objects/op")
+}
+
+func BenchmarkAssembleDepthFirst(b *testing.B) {
+	db := benchDB(b, gen.Config{NumComplexObjects: 500, Clustering: gen.Unclustered, Seed: 61})
+	benchAssemble(b, db, assembly.Options{Window: 1, Scheduler: assembly.DepthFirst})
+}
+
+func BenchmarkAssembleBreadthFirst(b *testing.B) {
+	db := benchDB(b, gen.Config{NumComplexObjects: 500, Clustering: gen.Unclustered, Seed: 61})
+	benchAssemble(b, db, assembly.Options{Window: 50, Scheduler: assembly.BreadthFirst})
+}
+
+func BenchmarkAssembleElevator(b *testing.B) {
+	db := benchDB(b, gen.Config{NumComplexObjects: 500, Clustering: gen.Unclustered, Seed: 61})
+	benchAssemble(b, db, assembly.Options{Window: 50, Scheduler: assembly.Elevator})
+}
+
+func BenchmarkAssembleElevatorSharing(b *testing.B) {
+	db := benchDB(b, gen.Config{NumComplexObjects: 500, Sharing: 0.25, Clustering: gen.InterObject, Seed: 61})
+	benchAssemble(b, db, assembly.Options{Window: 50, Scheduler: assembly.Elevator, UseSharingStats: true})
+}
+
+// BenchmarkTraverseAssembled measures pointer-swizzled traversal: the
+// whole point of assembly is that scans of the result cost memory
+// pointer chasing, not OID lookups.
+func BenchmarkTraverseAssembled(b *testing.B) {
+	db := benchDB(b, gen.Config{NumComplexObjects: 200, Seed: 62})
+	items := make([]volcano.Item, len(db.Roots))
+	for i, r := range db.Roots {
+		items[i] = r
+	}
+	op := assembly.New(volcano.NewSlice(items), db.Store, db.Template,
+		assembly.Options{Window: 50, Scheduler: assembly.Elevator})
+	out, err := volcano.Drain(op)
+	if err != nil {
+		b.Fatal(err)
+	}
+	insts := make([]*assembly.Instance, len(out))
+	for i, it := range out {
+		insts[i] = it.(*assembly.Instance)
+	}
+	b.ResetTimer()
+	var sum int64
+	for i := 0; i < b.N; i++ {
+		for _, inst := range insts {
+			inst.Walk(func(in *assembly.Instance) {
+				sum += int64(in.Object.Ints[0])
+			})
+		}
+	}
+	if sum == 0 {
+		b.Log("sum", sum)
+	}
+}

@@ -1,0 +1,94 @@
+package assembly
+
+import (
+	"fmt"
+
+	"revelation/internal/disk"
+)
+
+// MultiElevator is the multi-device scheduler sketched in the paper's
+// Section 7: "At present, the assembly operator can only handle one
+// device." With the database striped over several devices, a single
+// global SCAN drags every arm around; this scheduler keeps one
+// elevator per device, each sweeping relative to its *own* last
+// serviced page, and rotates across devices with pending references so
+// all arms stay busy.
+type MultiElevator struct {
+	deviceOf func(disk.PageID) int
+	lanes    []*elevator
+	lastPage []disk.PageID
+	rr       int
+}
+
+// NewMultiElevator builds a scheduler for n devices; deviceOf routes a
+// global page to its device index (use disk.Striped.DeviceOf).
+func NewMultiElevator(n int, deviceOf func(disk.PageID) int) *MultiElevator {
+	if n < 1 {
+		n = 1
+	}
+	m := &MultiElevator{
+		deviceOf: deviceOf,
+		lanes:    make([]*elevator, n),
+		lastPage: make([]disk.PageID, n),
+	}
+	for i := range m.lanes {
+		m.lanes[i] = &elevator{dirUp: true}
+	}
+	return m
+}
+
+// Name implements Scheduler.
+func (m *MultiElevator) Name() string {
+	return fmt.Sprintf("multi-elevator(%d)", len(m.lanes))
+}
+
+// Add implements Scheduler.
+func (m *MultiElevator) Add(refs ...*Ref) {
+	for _, r := range refs {
+		lane := m.deviceOf(r.Page()) % len(m.lanes)
+		m.lanes[lane].Add(r)
+	}
+}
+
+// Next implements Scheduler: among devices with pending references,
+// serve the one whose next service is cheapest for its own arm
+// (shortest positioning first across arms, SCAN within an arm). Ties
+// rotate round-robin so no arm starves.
+func (m *MultiElevator) Next(disk.PageID) *Ref {
+	n := len(m.lanes)
+	best, bestDist := -1, int64(1)<<62
+	for i := 0; i < n; i++ {
+		lane := (m.rr + i) % n
+		d, ok := m.lanes[lane].peekDist(m.lastPage[lane])
+		if !ok {
+			continue
+		}
+		if d < bestDist {
+			best, bestDist = lane, d
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	r := m.lanes[best].Next(m.lastPage[best])
+	if r == nil {
+		return nil
+	}
+	m.lastPage[best] = r.Page()
+	m.rr = (best + 1) % n
+	return r
+}
+
+// TakeOnPage implements Scheduler.
+func (m *MultiElevator) TakeOnPage(p disk.PageID) []*Ref {
+	return m.lanes[m.deviceOf(p)%len(m.lanes)].TakeOnPage(p)
+}
+
+// Len implements Scheduler.
+func (m *MultiElevator) Len() int {
+	total := 0
+	for _, l := range m.lanes {
+		total += l.Len()
+	}
+	return total
+}

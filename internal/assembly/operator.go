@@ -1,0 +1,676 @@
+package assembly
+
+import (
+	"errors"
+	"fmt"
+
+	"revelation/internal/buffer"
+	"revelation/internal/disk"
+	"revelation/internal/object"
+	"revelation/internal/page"
+	"revelation/internal/volcano"
+)
+
+// Options configure an assembly operator.
+type Options struct {
+	// Window is W, the number of complex objects assembled
+	// simultaneously (Section 4's sliding assembly). Values < 1 mean 1
+	// — plain object-at-a-time capacity.
+	Window int
+	// Scheduler picks the policy for choosing the next unresolved
+	// reference (Section 6.2).
+	Scheduler SchedulerKind
+	// PredicateFirst layers the Section 7 predicate-aware tiering on
+	// top of the base policy: references that can reject a complex
+	// object are resolved first.
+	PredicateFirst bool
+	// UseSharingStats enables the shared-component table driven by the
+	// template's sharing statistics (Sections 5 and 6.4): shared
+	// components assemble once, stay buffered, and later references
+	// link without I/O. When false, sharing degrades to whatever the
+	// buffer happens to cache.
+	UseSharingStats bool
+	// CustomScheduler overrides Scheduler/PredicateFirst entirely.
+	CustomScheduler Scheduler
+	// PinWindowPages keeps the pages backing partially assembled
+	// complex objects pinned in the buffer until the object is passed
+	// up, reproducing the paper's buffer economics ("a cost of using
+	// the sliding assembly operator is the need for enough buffer
+	// space to hold W partially assembled objects", Section 4). When
+	// the pool runs low, admission of new complex objects pauses — the
+	// effective window shrinks to what the buffer sustains (the
+	// Section 7 window/buffer tuning).
+	PinWindowPages bool
+	// PageBatch resolves every pending reference that lives on a page
+	// with one buffer request while the page is fixed — Section 4's
+	// "only a single request should be issued to the buffer manager",
+	// worth it because "even buffer hits can be expensive" (footnote 5).
+	PageBatch bool
+}
+
+// Stats reports what one operator run did.
+type Stats struct {
+	Assembled      int // complex objects emitted
+	Aborted        int // complex objects abandoned by a predicate
+	Resolved       int // references resolved (fetches + shared links)
+	Fetched        int // objects materialized from storage
+	PageRequests   int // buffer requests issued for those fetches
+	SharedLinks    int // references satisfied from assembled instances
+	PredicateFails int
+	NilRefs        int // references that were the nil OID
+	PeakRefPool    int // largest unresolved-reference pool observed
+	PeakWindowPgs  int // peak distinct pages backing the window
+}
+
+// Operator is the assembly operator: a Volcano physical operator that
+// consumes root references and produces assembled, pointer-swizzled
+// complex objects (*Instance items).
+//
+// Accepted input item types:
+//
+//   - object.OID: a root reference.
+//   - *object.Object: an already-fetched root object.
+//   - *Instance: a partially assembled complex object built against
+//     *this operator's template tree*; its unresolved frontier is
+//     scheduled (Section 4's "partially assembled" case).
+//   - PartialRoot: a root OID plus pre-assembled sub-objects from an
+//     upstream (stacked) assembly operator, linked by OID when reached
+//     (Fig. 17).
+type Operator struct {
+	Input    volcano.Iterator
+	Store    *object.Store
+	Template *Template
+	Opts     Options
+
+	sched     Scheduler
+	shared    *sharedTable
+	liveItems int
+	liveSet   map[*workItem]bool
+	inputDone bool
+	outq      []*workItem
+	footprint map[disk.PageID]int
+	stats     Stats
+	open      bool
+}
+
+// workItem is one window slot: a complex object being assembled.
+type workItem struct {
+	root    *Instance
+	pending int
+	aborted bool
+	emitted bool
+	// pre holds stacked-input sub-assemblies not yet reached.
+	pre map[object.OID]*Instance
+	// assembled maps OIDs already assembled within this complex
+	// object, for intra-object sharing ("multiple, possibly shared,
+	// object references contained within a single object", Section 4).
+	assembled map[object.OID]*Instance
+	// pages is the item's window footprint.
+	pages map[disk.PageID]bool
+	// frames are the buffer pins held for this item when
+	// PinWindowPages is on.
+	frames []*buffer.Frame
+}
+
+// New builds an assembly operator.
+func New(input volcano.Iterator, store *object.Store, tmpl *Template, opts Options) *Operator {
+	return &Operator{Input: input, Store: store, Template: tmpl, Opts: opts}
+}
+
+// Stats returns the operator's counters (valid after Open).
+func (op *Operator) Stats() Stats { return op.stats }
+
+// PlanNode implements volcano.PlanNoder, so assembly plans render in
+// volcano.Explain output.
+func (op *Operator) PlanNode() (string, []volcano.Iterator) {
+	window := op.Opts.Window
+	if window < 1 {
+		window = 1
+	}
+	name := op.Opts.Scheduler.String()
+	if op.Opts.CustomScheduler != nil {
+		name = op.Opts.CustomScheduler.Name()
+	} else if op.Opts.PredicateFirst {
+		name = "predicate-first/" + name
+	}
+	label := fmt.Sprintf("assembly(%s, window %d, template %q %d nodes)",
+		name, window, op.Template.Name, op.Template.Nodes())
+	return label, []volcano.Iterator{op.Input}
+}
+
+// Open implements volcano.Iterator.
+func (op *Operator) Open() error {
+	if op.Template == nil {
+		return errors.New("assembly: no template")
+	}
+	if err := op.Template.Validate(op.Store.Catalog); err != nil {
+		return err
+	}
+	switch {
+	case op.Opts.CustomScheduler != nil:
+		op.sched = op.Opts.CustomScheduler
+	case op.Opts.PredicateFirst:
+		op.sched = NewPredicateFirst(op.Opts.Scheduler)
+	default:
+		op.sched = NewScheduler(op.Opts.Scheduler)
+	}
+	if op.Opts.UseSharingStats {
+		op.shared = newSharedTable(op.Store.File.Pool())
+	}
+	op.liveItems = 0
+	op.liveSet = map[*workItem]bool{}
+	op.inputDone = false
+	op.outq = nil
+	op.footprint = map[disk.PageID]int{}
+	op.stats = Stats{}
+	if err := op.Input.Open(); err != nil {
+		return err
+	}
+	op.open = true
+	return nil
+}
+
+// Next implements volcano.Iterator: it returns the next fully
+// assembled complex object as an *Instance.
+func (op *Operator) Next() (volcano.Item, error) {
+	if !op.open {
+		return nil, volcano.ErrNotOpen
+	}
+	window := op.Opts.Window
+	if window < 1 {
+		window = 1
+	}
+	for {
+		// Emit an assembled complex object as soon as one is ready:
+		// "as soon as any one of these complex objects becomes
+		// assembled and passed up the query tree, the operator
+		// retrieves another one to work on" (Section 4).
+		if len(op.outq) > 0 {
+			item := op.outq[0]
+			op.outq = op.outq[1:]
+			op.releaseFootprint(item)
+			op.unpinFrames(item)
+			return item.root, nil
+		}
+		// Keep the window full — unless pinned window pages are
+		// exhausting the buffer, in which case the effective window
+		// shrinks to what the pool sustains.
+		for op.liveItems < window && !op.inputDone && op.admissionAllowed() {
+			if err := op.admit(); err != nil {
+				return nil, err
+			}
+		}
+		if op.liveItems == 0 {
+			if op.inputDone {
+				return nil, volcano.Done
+			}
+			continue
+		}
+		ref := op.sched.Next(op.head())
+		if ref == nil {
+			// All live items' references were consumed but none
+			// completed: impossible unless bookkeeping broke.
+			return nil, fmt.Errorf("assembly: %d live complex objects with no pending references", op.liveItems)
+		}
+		if !ref.live() {
+			continue
+		}
+		if err := op.resolve(ref); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Close implements volcano.Iterator.
+func (op *Operator) Close() error {
+	op.open = false
+	for item := range op.liveSet {
+		op.unpinFrames(item)
+	}
+	op.liveSet = nil
+	for _, item := range op.outq {
+		op.unpinFrames(item)
+	}
+	op.outq = nil
+	op.sched = nil
+	op.shared = nil
+	return op.Input.Close()
+}
+
+// admissionAllowed gates window growth on buffer headroom when window
+// pages are pinned. A lone complex object is always admitted so the
+// operator can make progress.
+func (op *Operator) admissionAllowed() bool {
+	if !op.Opts.PinWindowPages || op.liveItems == 0 {
+		return true
+	}
+	pool := op.Store.File.Pool()
+	// Budget by worst case, not by current pins: every live object may
+	// still pin up to one page per component, and transient fixes
+	// (heap gets, index descents) need headroom.
+	const headroom = 8
+	perItem := op.Template.Nodes()
+	return (op.liveItems+1)*perItem+headroom <= pool.Size()
+}
+
+// pinPage pins the page backing a freshly fetched component for the
+// item's lifetime. Pool exhaustion downgrades gracefully: the page
+// simply stays unpinned and may be re-read later.
+func (op *Operator) pinPage(item *workItem, pg disk.PageID) {
+	if !op.Opts.PinWindowPages {
+		return
+	}
+	f, err := op.Store.File.Pool().Fix(pg)
+	if err != nil {
+		return
+	}
+	item.frames = append(item.frames, f)
+}
+
+// unpinFrames releases every buffer pin the item holds.
+func (op *Operator) unpinFrames(item *workItem) {
+	pool := op.Store.File.Pool()
+	for _, f := range item.frames {
+		// Unfix errors here would mean double-release; surface loudly
+		// during tests via the pool's own accounting instead.
+		_ = pool.Unfix(f, false)
+	}
+	item.frames = nil
+}
+
+func (op *Operator) head() disk.PageID {
+	return op.Store.File.Pool().Device().Head()
+}
+
+// admit pulls the next root from the input and opens a window slot for
+// it. It sets inputDone at end of input.
+func (op *Operator) admit() error {
+	raw, err := op.Input.Next()
+	if errors.Is(err, volcano.Done) {
+		op.inputDone = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	item := &workItem{
+		assembled: map[object.OID]*Instance{},
+		pages:     map[disk.PageID]bool{},
+	}
+	// Count the slot live up front so an abort during admission (a
+	// root-level predicate failure) balances the books.
+	op.liveItems++
+	op.liveSet[item] = true
+	switch v := raw.(type) {
+	case object.OID:
+		if v.IsNil() {
+			op.liveItems-- // nil root: nothing to assemble
+			delete(op.liveSet, item)
+			return nil
+		}
+		if err := op.scheduleRef(item, nil, 0, op.Template, v); err != nil {
+			return err
+		}
+	case *object.Object:
+		if _, err := op.place(item, nil, 0, op.Template, v, op.pageOf(v.OID)); err != nil {
+			return err
+		}
+	case *Instance:
+		if err := op.adopt(item, v); err != nil {
+			return err
+		}
+	case PartialRoot:
+		if v.Root.IsNil() {
+			op.liveItems--
+			delete(op.liveSet, item)
+			return nil
+		}
+		item.pre = v.Sub
+		if err := op.scheduleRef(item, nil, 0, op.Template, v.Root); err != nil {
+			return err
+		}
+	default:
+		op.liveItems--
+		delete(op.liveSet, item)
+		return fmt.Errorf("assembly: unsupported input item type %T", raw)
+	}
+	op.settle(item)
+	return nil
+}
+
+// adopt takes a partially assembled complex object built against this
+// operator's template and schedules its unresolved frontier: "when a
+// partially assembled sub-object is discovered, the operator finds all
+// unresolved references within it" (Section 4).
+func (op *Operator) adopt(item *workItem, root *Instance) error {
+	item.root = root
+	root.Walk(func(in *Instance) {
+		item.assembled[in.OID()] = in
+		op.noteFootprint(item, in.page)
+	})
+	batch, _, err := componentIterator{op}.discover(item, root, true, false)
+	if err != nil {
+		return err
+	}
+	op.dispatch(batch...)
+	return nil
+}
+
+// prepareRef resolves the OID's physical address and accounts the
+// pending reference; the caller dispatches prepared references to the
+// scheduler in batches so sibling order is preserved.
+func (op *Operator) prepareRef(item *workItem, parent *Instance, slot int, node *Template, oid object.OID) (*Ref, error) {
+	rid, ok, err := op.Store.WhereIs(oid)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("assembly: dangling reference %v (template node %q)", oid, node.Name)
+	}
+	item.pending++
+	propagatePending(parent, +1)
+	return &Ref{OID: oid, RID: rid, Node: node, Parent: parent, Slot: slot, Item: item}, nil
+}
+
+// dispatch hands a batch of prepared references (one fetched object's
+// unresolved references, in left-to-right field order) to the
+// scheduler.
+func (op *Operator) dispatch(refs ...*Ref) {
+	if len(refs) == 0 {
+		return
+	}
+	op.sched.Add(refs...)
+	if n := op.sched.Len(); n > op.stats.PeakRefPool {
+		op.stats.PeakRefPool = n
+	}
+}
+
+// scheduleRef prepares and immediately dispatches a single reference.
+func (op *Operator) scheduleRef(item *workItem, parent *Instance, slot int, node *Template, oid object.OID) error {
+	r, err := op.prepareRef(item, parent, slot, node, oid)
+	if err != nil {
+		return err
+	}
+	op.dispatch(r)
+	return nil
+}
+
+// propagatePending adjusts the unresolved-descendant counters along
+// the parent chain; a shared subtree registers in the window-wide
+// table exactly when its counter returns to zero (it is complete).
+func propagatePending(parent *Instance, delta int) {
+	for p := parent; p != nil; p = p.Parent {
+		p.pendingDesc += delta
+	}
+}
+
+// maybeRegisterShared registers inst and any newly completed shared
+// ancestors in the shared table.
+func (op *Operator) maybeRegisterShared(inst *Instance) {
+	if op.shared == nil {
+		return
+	}
+	for p := inst; p != nil; p = p.Parent {
+		if p.pendingDesc == 0 && p.Node.Shared && !p.registered {
+			p.registered = true
+			op.shared.register(p, p.Node)
+		}
+		if p.pendingDesc != 0 {
+			break
+		}
+	}
+}
+
+// resolve is one scheduling step. Without page batching it handles the
+// single reference; with PageBatch on it also drains every other
+// pending reference on the same page while that page is fixed once —
+// "if requested objects are contained in a single page, then only a
+// single request should be issued to the buffer manager" (Section 4).
+func (op *Operator) resolve(ref *Ref) error {
+	if !op.Opts.PageBatch {
+		return op.resolveOne(ref, nil)
+	}
+	batch := append([]*Ref{ref}, op.sched.TakeOnPage(ref.RID.Page)...)
+	pool := op.Store.File.Pool()
+	fr, err := pool.Fix(ref.RID.Page)
+	if err != nil {
+		return err
+	}
+	op.stats.PageRequests++
+	pg := page.Wrap(fr.Data())
+	for _, r := range batch {
+		if !r.live() {
+			continue
+		}
+		if err := op.resolveOne(r, pg); err != nil {
+			pool.Unfix(fr, false)
+			return err
+		}
+	}
+	return pool.Unfix(fr, false)
+}
+
+// resolveOne fetches or links one referenced component, swizzles it
+// into its parent, evaluates predicates, discovers new unresolved
+// references, and detects completion. When pg is non-nil the record is
+// read from that already-fixed page instead of issuing a new buffer
+// request.
+func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
+	item := ref.Item
+	item.pending--
+	op.stats.Resolved++
+
+	// 1. Already assembled within this complex object (intra-object
+	// sharing)? Only shared template nodes pay the lookup, exactly as
+	// Section 5 prescribes for non-sharable components.
+	if ref.Node.Shared {
+		if inst, ok := item.assembled[ref.OID]; ok {
+			op.link(item, ref, inst)
+			propagatePending(ref.Parent, -1)
+			op.maybeRegisterShared(ref.Parent)
+			op.stats.SharedLinks++
+			op.settle(item)
+			return nil
+		}
+		// 2. Assembled by another complex object in the window?
+		if op.shared != nil {
+			if inst, ok := op.shared.lookup(ref.OID); ok {
+				op.link(item, ref, inst)
+				propagatePending(ref.Parent, -1)
+				op.maybeRegisterShared(ref.Parent)
+				item.assembled[ref.OID] = inst
+				op.noteFootprint(item, inst.page)
+				op.stats.SharedLinks++
+				op.settle(item)
+				return nil
+			}
+		}
+	}
+	// 3. Pre-assembled by an upstream stacked operator?
+	if item.pre != nil {
+		if inst, ok := item.pre[ref.OID]; ok {
+			delete(item.pre, ref.OID)
+			op.link(item, ref, inst)
+			op.stats.SharedLinks++
+			// The pre-assembled subtree may itself be partial: walk it
+			// for unresolved references and account its members.
+			if err := op.adoptSubtree(item, inst); err != nil {
+				return err
+			}
+			propagatePending(ref.Parent, -1)
+			op.maybeRegisterShared(ref.Parent)
+			op.settle(item)
+			return nil
+		}
+	}
+	// 4. Fetch from storage — through the buffer, or straight off the
+	// already-fixed page when batching.
+	var obj *object.Object
+	if pg != nil {
+		rec, gerr := pg.Get(ref.RID.Slot)
+		if gerr != nil {
+			return fmt.Errorf("assembly: fetch %v from fixed page: %w", ref.OID, gerr)
+		}
+		var derr error
+		obj, derr = object.Decode(rec)
+		if derr != nil {
+			return fmt.Errorf("assembly: decode %v: %w", ref.OID, derr)
+		}
+	} else {
+		var err error
+		obj, err = op.Store.GetAt(ref.RID)
+		if err != nil {
+			return fmt.Errorf("assembly: fetch %v: %w", ref.OID, err)
+		}
+		op.stats.PageRequests++
+	}
+	op.stats.Fetched++
+	op.pinPage(item, ref.RID.Page)
+	inst, err := op.place(item, ref.Parent, ref.Slot, ref.Node, obj, ref.RID.Page)
+	if err != nil {
+		return err
+	}
+	propagatePending(ref.Parent, -1)
+	if inst != nil {
+		op.maybeRegisterShared(inst)
+	}
+	op.settle(item)
+	return nil
+}
+
+// place builds the instance for a fetched object, links it, evaluates
+// its predicate, and schedules its children. It returns nil when the
+// predicate aborted the complex object.
+func (op *Operator) place(item *workItem, parent *Instance, slot int, node *Template, obj *object.Object, pg disk.PageID) (*Instance, error) {
+	if node.Class != 0 && obj.Class != node.Class {
+		return nil, fmt.Errorf("assembly: object %v has class %d, template node %q wants %d",
+			obj.OID, obj.Class, node.Name, node.Class)
+	}
+	inst := &Instance{
+		Object:   obj,
+		Node:     node,
+		Children: make([]*Instance, len(node.Children)),
+		page:     pg,
+	}
+	// Selective assembly: "abort the assembly of a complex object as
+	// soon as possible if it has a chance of not satisfying a
+	// selection predicate" (Section 4).
+	if node.Pred != nil && !node.Pred.Eval(obj) {
+		op.stats.PredicateFails++
+		op.abort(item)
+		return nil, nil
+	}
+	op.link(item, &Ref{Parent: parent, Slot: slot, Item: item}, inst)
+	if node.Shared {
+		item.assembled[obj.OID] = inst
+	}
+	op.noteFootprint(item, pg)
+
+	// Component iterator: discover the unresolved references of the
+	// new component, in left-to-right field order, dispatched as one
+	// batch so order-sensitive schedulers see the method-traversal
+	// order. A nil reference under a required child aborts the whole
+	// complex object.
+	batch, aborted, err := componentIterator{op}.discover(item, inst, false, true)
+	if err != nil {
+		return nil, err
+	}
+	if aborted {
+		op.abort(item)
+		return nil, nil
+	}
+	op.dispatch(batch...)
+	return inst, nil
+}
+
+// adoptSubtree accounts a pre-assembled subtree linked from a stacked
+// input: registers its members for intra-object sharing, notes the
+// footprint, and schedules its unresolved frontier.
+func (op *Operator) adoptSubtree(item *workItem, root *Instance) error {
+	root.Walk(func(in *Instance) {
+		if in.Node.Shared {
+			item.assembled[in.OID()] = in
+		}
+		op.noteFootprint(item, in.page)
+	})
+	batch, _, err := componentIterator{op}.discover(item, root, true, false)
+	if err != nil {
+		return err
+	}
+	op.dispatch(batch...)
+	return nil
+}
+
+// link swizzles inst into its parent (or makes it the item's root) and
+// bumps the reference count.
+func (op *Operator) link(item *workItem, ref *Ref, inst *Instance) {
+	inst.refs++
+	if ref.Parent == nil {
+		item.root = inst
+		return
+	}
+	ref.Parent.Children[ref.Slot] = inst
+	if inst.Parent == nil {
+		inst.Parent = ref.Parent
+	}
+}
+
+// settle checks whether the item just completed and moves it to the
+// output queue.
+func (op *Operator) settle(item *workItem) {
+	if item.aborted || item.emitted {
+		return
+	}
+	if item.pending == 0 && item.root != nil {
+		item.emitted = true
+		op.liveItems--
+		op.stats.Assembled++
+		delete(op.liveSet, item)
+		op.outq = append(op.outq, item)
+	}
+}
+
+// abort abandons the item's assembly: its pending references die in
+// the scheduler (skipped lazily) and its footprint is released.
+func (op *Operator) abort(item *workItem) {
+	if item.aborted {
+		return
+	}
+	item.aborted = true
+	op.liveItems--
+	op.stats.Aborted++
+	delete(op.liveSet, item)
+	op.releaseFootprint(item)
+	op.unpinFrames(item)
+}
+
+func (op *Operator) noteFootprint(item *workItem, pg disk.PageID) {
+	if pg == disk.InvalidPage || item.pages[pg] {
+		return
+	}
+	item.pages[pg] = true
+	op.footprint[pg]++
+	if n := len(op.footprint); n > op.stats.PeakWindowPgs {
+		op.stats.PeakWindowPgs = n
+	}
+}
+
+func (op *Operator) releaseFootprint(item *workItem) {
+	for pg := range item.pages {
+		op.footprint[pg]--
+		if op.footprint[pg] <= 0 {
+			delete(op.footprint, pg)
+		}
+	}
+	item.pages = map[disk.PageID]bool{}
+}
+
+// pageOf resolves the page backing an OID, or InvalidPage when the
+// locator does not know it.
+func (op *Operator) pageOf(oid object.OID) disk.PageID {
+	rid, ok, err := op.Store.WhereIs(oid)
+	if err != nil || !ok {
+		return disk.InvalidPage
+	}
+	return rid.Page
+}

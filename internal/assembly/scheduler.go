@@ -1,0 +1,388 @@
+package assembly
+
+import (
+	"fmt"
+	"sort"
+
+	"revelation/internal/disk"
+	"revelation/internal/heap"
+	"revelation/internal/object"
+)
+
+// Ref is one unresolved inter-object reference in the window: "at any
+// stage of assembling a complex object there may be several references
+// yet to be resolved" (Section 4). The physical address is resolved at
+// scheduling time so the elevator can order fetches by page.
+type Ref struct {
+	// OID is the referenced object.
+	OID object.OID
+	// RID is its physical address (from the locator).
+	RID heap.RID
+	// Node is the template node the reference instantiates.
+	Node *Template
+	// Parent is the instance whose reference field this is; nil for a
+	// complex object's root reference.
+	Parent *Instance
+	// Slot is the index into Parent.Children to swizzle; 0 for roots.
+	Slot int
+	// Item is the window entry (complex object) the reference belongs
+	// to. Aborted items' references are skipped lazily.
+	Item *workItem
+}
+
+// Page is the device page the reference resolves to.
+func (r *Ref) Page() disk.PageID { return r.RID.Page }
+
+func (r *Ref) live() bool { return r.Item == nil || !r.Item.aborted }
+
+// Scheduler decides which unresolved reference to resolve next — the
+// choice the whole paper is about. Add offers a batch of references
+// (the unresolved references discovered in one newly fetched object,
+// in left-to-right field order); Next picks one given the current head
+// position.
+type Scheduler interface {
+	// Name identifies the policy in plans and benchmark tables.
+	Name() string
+	// Add inserts references, preserving their relative order where
+	// the policy is order-sensitive.
+	Add(refs ...*Ref)
+	// Next removes and returns the next reference to resolve, or nil
+	// when none remain. head is the device's current head position.
+	Next(head disk.PageID) *Ref
+	// TakeOnPage removes and returns every pending live reference
+	// whose target lives on page p — the Section 4 page-batching
+	// opportunity: "if requested objects are contained in a single
+	// page, then only a single request should be issued to the buffer
+	// manager."
+	TakeOnPage(p disk.PageID) []*Ref
+	// Len reports the number of pending references (live and dead).
+	Len() int
+}
+
+// SchedulerKind selects one of the built-in policies.
+type SchedulerKind int
+
+// Built-in scheduling policies from Section 6.2 (plus the integrated
+// priority policy sketched in Section 7).
+const (
+	// DepthFirst resolves each complex object completely before the
+	// next — equivalent to object-at-a-time assembly regardless of
+	// window size.
+	DepthFirst SchedulerKind = iota
+	// BreadthFirst resolves references in discovery order across the
+	// whole window ("breadth of the window, not of a single object").
+	BreadthFirst
+	// Elevator resolves the reference nearest the disk head in the
+	// current sweep direction (SCAN).
+	Elevator
+)
+
+func (k SchedulerKind) String() string {
+	switch k {
+	case DepthFirst:
+		return "depth-first"
+	case BreadthFirst:
+		return "breadth-first"
+	case Elevator:
+		return "elevator"
+	default:
+		return fmt.Sprintf("scheduler(%d)", int(k))
+	}
+}
+
+// NewScheduler constructs a scheduler of the given kind.
+func NewScheduler(kind SchedulerKind) Scheduler {
+	switch kind {
+	case BreadthFirst:
+		return &breadthFirst{}
+	case Elevator:
+		return &elevator{dirUp: true}
+	default:
+		return &depthFirst{stacks: map[*workItem][]*Ref{}}
+	}
+}
+
+// depthFirst keeps one stack per window item and always serves the
+// oldest item, children left-to-right: exactly the traversal a
+// compiled method performs, one complex object at a time.
+type depthFirst struct {
+	order  []*workItem
+	stacks map[*workItem][]*Ref
+	n      int
+}
+
+func (s *depthFirst) Name() string { return DepthFirst.String() }
+
+func (s *depthFirst) Add(refs ...*Ref) {
+	// Group the batch by window item and prepend each group to its
+	// item's stack: a batch arrives in left-to-right field order, so
+	// prepending the whole group keeps the leftmost child on top —
+	// the traversal order a compiled method would use.
+	byItem := map[*workItem][]*Ref{}
+	var items []*workItem
+	for _, r := range refs {
+		if _, ok := byItem[r.Item]; !ok {
+			items = append(items, r.Item)
+		}
+		byItem[r.Item] = append(byItem[r.Item], r)
+	}
+	for _, item := range items {
+		if _, ok := s.stacks[item]; !ok {
+			s.order = append(s.order, item)
+		}
+		batch := byItem[item]
+		merged := make([]*Ref, 0, len(batch)+len(s.stacks[item]))
+		merged = append(merged, batch...)
+		merged = append(merged, s.stacks[item]...)
+		s.stacks[item] = merged
+		s.n += len(batch)
+	}
+}
+
+func (s *depthFirst) Next(disk.PageID) *Ref {
+	for len(s.order) > 0 {
+		item := s.order[0]
+		stack := s.stacks[item]
+		for len(stack) > 0 {
+			r := stack[0]
+			stack = stack[1:]
+			s.n--
+			if r.live() {
+				s.stacks[item] = stack
+				return r
+			}
+		}
+		delete(s.stacks, item)
+		s.order = s.order[1:]
+	}
+	return nil
+}
+
+func (s *depthFirst) Len() int { return s.n }
+
+// TakeOnPage implements Scheduler. Depth-first honours object-at-a-
+// time semantics, so batching only draws from the current (oldest)
+// complex object — fetch order across objects must stay sequential.
+func (s *depthFirst) TakeOnPage(p disk.PageID) []*Ref {
+	if len(s.order) == 0 {
+		return nil
+	}
+	item := s.order[0]
+	stack := s.stacks[item]
+	var out []*Ref
+	rest := stack[:0]
+	for _, r := range stack {
+		if !r.live() {
+			s.n--
+			continue
+		}
+		if r.Page() == p {
+			out = append(out, r)
+			s.n--
+			continue
+		}
+		rest = append(rest, r)
+	}
+	s.stacks[item] = rest
+	return out
+}
+
+// breadthFirst is a FIFO over the whole window.
+type breadthFirst struct {
+	queue []*Ref
+}
+
+func (s *breadthFirst) Name() string { return BreadthFirst.String() }
+
+func (s *breadthFirst) Add(refs ...*Ref) { s.queue = append(s.queue, refs...) }
+
+func (s *breadthFirst) Next(disk.PageID) *Ref {
+	for len(s.queue) > 0 {
+		r := s.queue[0]
+		s.queue = s.queue[1:]
+		if r.live() {
+			return r
+		}
+	}
+	return nil
+}
+
+func (s *breadthFirst) Len() int { return len(s.queue) }
+
+// TakeOnPage implements Scheduler.
+func (s *breadthFirst) TakeOnPage(p disk.PageID) []*Ref {
+	var out []*Ref
+	rest := s.queue[:0]
+	for _, r := range s.queue {
+		if !r.live() {
+			continue
+		}
+		if r.Page() == p {
+			out = append(out, r)
+			continue
+		}
+		rest = append(rest, r)
+	}
+	s.queue = rest
+	return out
+}
+
+// elevator is the SCAN policy: it keeps the pending references sorted
+// by page and serves the nearest one in the current sweep direction,
+// reversing at the ends. With a dedicated device and a large window of
+// outstanding requests this is the classical choice (Teorey &
+// Pinkerton; Section 6.2).
+type elevator struct {
+	refs  []*Ref // sorted by page
+	dirUp bool
+}
+
+func (s *elevator) Name() string { return Elevator.String() }
+
+func (s *elevator) Add(refs ...*Ref) {
+	for _, r := range refs {
+		i := sort.Search(len(s.refs), func(i int) bool { return s.refs[i].Page() >= r.Page() })
+		s.refs = append(s.refs, nil)
+		copy(s.refs[i+1:], s.refs[i:])
+		s.refs[i] = r
+	}
+}
+
+func (s *elevator) Next(head disk.PageID) *Ref {
+	s.compact()
+	if len(s.refs) == 0 {
+		return nil
+	}
+	// First pending ref at or above the head.
+	i := sort.Search(len(s.refs), func(i int) bool { return s.refs[i].Page() >= head })
+	var pick int
+	if s.dirUp {
+		if i < len(s.refs) {
+			pick = i
+		} else {
+			s.dirUp = false
+			pick = len(s.refs) - 1
+		}
+	} else {
+		if i > 0 {
+			pick = i - 1
+			// Exact hits belong to the current position regardless of
+			// direction; prefer them to avoid a pointless reversal.
+			if i < len(s.refs) && s.refs[i].Page() == head {
+				pick = i
+			}
+		} else {
+			s.dirUp = true
+			pick = 0
+		}
+	}
+	r := s.refs[pick]
+	s.refs = append(s.refs[:pick], s.refs[pick+1:]...)
+	return r
+}
+
+// peekDist reports the seek distance the next service from this
+// elevator would cost, given its head, without removing anything.
+func (s *elevator) peekDist(head disk.PageID) (int64, bool) {
+	s.compact()
+	if len(s.refs) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(s.refs), func(i int) bool { return s.refs[i].Page() >= head })
+	best := int64(1) << 62
+	if i < len(s.refs) {
+		d := int64(s.refs[i].Page() - head)
+		if d < best {
+			best = d
+		}
+	}
+	if i > 0 {
+		d := int64(head - s.refs[i-1].Page())
+		if d < best {
+			best = d
+		}
+	}
+	return best, true
+}
+
+// compact drops references of aborted complex objects.
+func (s *elevator) compact() {
+	live := s.refs[:0]
+	for _, r := range s.refs {
+		if r.live() {
+			live = append(live, r)
+		}
+	}
+	s.refs = live
+}
+
+func (s *elevator) Len() int { return len(s.refs) }
+
+// TakeOnPage implements Scheduler: the sorted slice makes same-page
+// extraction a binary search plus a contiguous cut.
+func (s *elevator) TakeOnPage(p disk.PageID) []*Ref {
+	s.compact()
+	lo := sort.Search(len(s.refs), func(i int) bool { return s.refs[i].Page() >= p })
+	hi := lo
+	for hi < len(s.refs) && s.refs[hi].Page() == p {
+		hi++
+	}
+	if lo == hi {
+		return nil
+	}
+	out := append([]*Ref(nil), s.refs[lo:hi]...)
+	s.refs = append(s.refs[:lo], s.refs[hi:]...)
+	return out
+}
+
+// PredicateFirst wraps a base policy with the Section 7 integration of
+// predicates into scheduling: references whose subtree can reject the
+// complex object are served before all others ("it is beneficial to
+// retrieve sub-objects that have a high probability of failing a
+// predicate as soon as possible", Section 4). Within each tier the
+// base policy applies. Hot-tier references are served most-rejective
+// subtree first, breaking ties by the base policy.
+type PredicateFirst struct {
+	hot, cold Scheduler
+	base      string
+}
+
+// NewPredicateFirst builds a predicate-first scheduler over two fresh
+// instances of the given base kind.
+func NewPredicateFirst(base SchedulerKind) *PredicateFirst {
+	return &PredicateFirst{
+		hot:  NewScheduler(base),
+		cold: NewScheduler(base),
+		base: base.String(),
+	}
+}
+
+// Name implements Scheduler.
+func (s *PredicateFirst) Name() string { return "predicate-first/" + s.base }
+
+// Add implements Scheduler.
+func (s *PredicateFirst) Add(refs ...*Ref) {
+	for _, r := range refs {
+		if r.Node.subtreeRejectivity() > 0 {
+			s.hot.Add(r)
+		} else {
+			s.cold.Add(r)
+		}
+	}
+}
+
+// Next implements Scheduler.
+func (s *PredicateFirst) Next(head disk.PageID) *Ref {
+	if r := s.hot.Next(head); r != nil {
+		return r
+	}
+	return s.cold.Next(head)
+}
+
+// TakeOnPage implements Scheduler.
+func (s *PredicateFirst) TakeOnPage(p disk.PageID) []*Ref {
+	return append(s.hot.TakeOnPage(p), s.cold.TakeOnPage(p)...)
+}
+
+// Len implements Scheduler.
+func (s *PredicateFirst) Len() int { return s.hot.Len() + s.cold.Len() }

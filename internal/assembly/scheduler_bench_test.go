@@ -1,0 +1,74 @@
+package assembly
+
+import (
+	"testing"
+
+	"revelation/internal/disk"
+	"revelation/internal/heap"
+	"revelation/internal/object"
+)
+
+// Scheduler micro-benchmarks: the paper notes the only CPU overhead of
+// set-oriented assembly "lies in the maintenance of a scheduling data
+// structure (list, queue or priority queue)"; these measure it.
+
+func benchScheduler(b *testing.B, kind SchedulerKind) {
+	item := &workItem{}
+	node := &Template{Name: "x"}
+	// Steady-state: keep ~200 refs pending (a window-50 pool), add one
+	// batch of 2, serve 2.
+	s := NewScheduler(kind)
+	for i := 0; i < 200; i++ {
+		s.Add(&Ref{OID: object.OID(i + 1), RID: heap.RID{Page: disk.PageID(i * 131 % 4096)}, Item: item, Node: node})
+	}
+	head := disk.PageID(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(
+			&Ref{OID: object.OID(i), RID: heap.RID{Page: disk.PageID(i * 37 % 4096)}, Item: item, Node: node},
+			&Ref{OID: object.OID(i), RID: heap.RID{Page: disk.PageID(i * 53 % 4096)}, Item: item, Node: node},
+		)
+		for j := 0; j < 2; j++ {
+			if r := s.Next(head); r != nil {
+				head = r.Page()
+			}
+		}
+	}
+}
+
+func BenchmarkSchedulerDepthFirst(b *testing.B)   { benchScheduler(b, DepthFirst) }
+func BenchmarkSchedulerBreadthFirst(b *testing.B) { benchScheduler(b, BreadthFirst) }
+func BenchmarkSchedulerElevator(b *testing.B)     { benchScheduler(b, Elevator) }
+
+func BenchmarkSchedulerPredicateFirst(b *testing.B) {
+	item := &workItem{}
+	hot := &Template{Name: "hot", Pred: constPred{sel: 0.1}}
+	cold := &Template{Name: "cold"}
+	s := NewPredicateFirst(Elevator)
+	head := disk.PageID(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node := cold
+		if i%2 == 0 {
+			node = hot
+		}
+		s.Add(&Ref{OID: object.OID(i + 1), RID: heap.RID{Page: disk.PageID(i * 131 % 4096)}, Item: item, Node: node})
+		if r := s.Next(head); r != nil {
+			head = r.Page()
+		}
+	}
+}
+
+func BenchmarkSchedulerMultiElevator(b *testing.B) {
+	item := &workItem{}
+	node := &Template{Name: "x"}
+	s := NewMultiElevator(4, func(p disk.PageID) int { return int(p) / 8 % 4 })
+	head := disk.PageID(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(&Ref{OID: object.OID(i + 1), RID: heap.RID{Page: disk.PageID(i * 131 % 4096)}, Item: item, Node: node})
+		if r := s.Next(head); r != nil {
+			head = r.Page()
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package assembly
+
+import (
+	"fmt"
+
+	"revelation/internal/object"
+	"revelation/internal/volcano"
+)
+
+// StackedConfig describes a two-level stacked assembly plan (Fig. 17):
+// a bottom-up operator assembles a sub-template for a stream of
+// sub-roots, and a top-down operator completes the enclosing template,
+// linking the pre-assembled subtrees by OID instead of refetching them.
+type StackedConfig struct {
+	// Store is the object store both operators read from.
+	Store *object.Store
+	// Full is the complete template the second operator assembles.
+	Full *Template
+	// Sub is the subtree of Full that the first operator assembles
+	// bottom-up. It must be a node within Full's tree (same pointer),
+	// so the emitted complex objects carry one consistent template.
+	Sub *Template
+	// SubRoots produces the sub-root references for the first
+	// operator (items: object.OID).
+	SubRoots volcano.Iterator
+	// EnclosingRoot maps an assembled sub-instance to the OID of the
+	// complex object root that contains it — the upward link the
+	// storage model does not represent explicitly, so the plan builder
+	// supplies it (e.g. from a back-reference field or an index).
+	EnclosingRoot func(*Instance) (object.OID, error)
+	// BottomUp and TopDown configure the two operators.
+	BottomUp, TopDown Options
+}
+
+// NewStacked builds the Fig. 17 plan: Assembly1 (bottom-up over Sub)
+// feeding Assembly2 (top-down over Full) through a projection that
+// wraps each sub-assembly into a PartialRoot.
+func NewStacked(cfg StackedConfig) (volcano.Iterator, error) {
+	if cfg.Store == nil || cfg.Full == nil || cfg.Sub == nil {
+		return nil, fmt.Errorf("assembly: stacked plan needs store, full and sub templates")
+	}
+	if !containsNode(cfg.Full, cfg.Sub) {
+		return nil, fmt.Errorf("assembly: sub template %q is not a node of the full template", cfg.Sub.Name)
+	}
+	if cfg.EnclosingRoot == nil {
+		return nil, fmt.Errorf("assembly: stacked plan needs an EnclosingRoot mapping")
+	}
+	bottom := New(cfg.SubRoots, cfg.Store, cfg.Sub, cfg.BottomUp)
+	wrap := volcano.NewProject(bottom, func(item volcano.Item) (volcano.Item, error) {
+		inst, ok := item.(*Instance)
+		if !ok {
+			return nil, fmt.Errorf("assembly: stacked projection got %T", item)
+		}
+		root, err := cfg.EnclosingRoot(inst)
+		if err != nil {
+			return nil, err
+		}
+		return PartialRoot{
+			Root: root,
+			Sub:  map[object.OID]*Instance{inst.OID(): inst},
+		}, nil
+	})
+	return New(wrap, cfg.Store, cfg.Full, cfg.TopDown), nil
+}
+
+// containsNode reports whether node is reachable from root (pointer
+// identity).
+func containsNode(root, node *Template) bool {
+	if root == node {
+		return true
+	}
+	for _, c := range root.Children {
+		if containsNode(c, node) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,230 @@
+// Package bench is the experiment harness for the paper's Section 6
+// evaluation: it builds benchmark databases, runs the assembly operator
+// under a configuration, and reports the paper's metric — average seek
+// distance per read, in pages — plus the auxiliary counters the paper
+// discusses (total reads, buffer behaviour, window footprint).
+//
+// Figure definitions live in figures.go; both bench_test.go (go test
+// -bench) and cmd/asmbench regenerate the paper's tables through this
+// package.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"revelation/internal/assembly"
+	"revelation/internal/expr"
+	"revelation/internal/gen"
+	"revelation/internal/object"
+	"revelation/internal/volcano"
+)
+
+// Experiment is one benchmark configuration.
+type Experiment struct {
+	Name       string
+	DBSize     int // complex objects
+	Clustering gen.Clustering
+	Scheduler  assembly.SchedulerKind
+	Window     int
+	// Sharing enables shared leaf sub-objects at the given degree;
+	// UseSharingStats turns the template statistic on in the operator.
+	Sharing         float64
+	UseSharingStats bool
+	// Selectivity, when positive, attaches a predicate of that
+	// selectivity (fraction passing, 0–1) to a leaf component.
+	Selectivity    float64
+	PredicateFirst bool
+	// BufferPages restricts the pool; zero holds the whole database
+	// (the paper's first benchmark group has "enough buffer space to
+	// hold the largest database, so no page replacement occurs").
+	BufferPages int
+	// PinWindow keeps window pages pinned, reproducing the paper's
+	// buffer economics (Section 4); used by the window/buffer ablation.
+	PinWindow bool
+	// PageBatch resolves all pending same-page references per buffer
+	// request (Section 4's single-request observation).
+	PageBatch bool
+	Seed      int64
+}
+
+// Result is what one run measured.
+type Result struct {
+	Experiment
+	// AvgSeek is the paper's metric: average seek distance per read,
+	// in pages.
+	AvgSeek float64
+	// Reads is the number of physical page reads.
+	Reads int64
+	// SeekTotal is total head movement attributable to reads.
+	SeekTotal int64
+	// Assembly operator counters.
+	Stats assembly.Stats
+	// BufferHits and BufferFaults describe pool behaviour.
+	BufferHits, BufferFaults int64
+	Elapsed                  time.Duration
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%-28s db=%-5d %-12s %-13s W=%-4d avgseek=%8.1f reads=%-6d assembled=%d aborted=%d",
+		r.Name, r.DBSize, r.Clustering, r.Scheduler, r.Window,
+		r.AvgSeek, r.Reads, r.Stats.Assembled, r.Stats.Aborted)
+}
+
+// dbKey identifies a reusable generated database.
+type dbKey struct {
+	size        int
+	clustering  gen.Clustering
+	sharing     float64
+	bufferPages int
+	seed        int64
+}
+
+// Runner executes experiments, caching generated databases across runs
+// with the same physical configuration (the logical run state — buffer
+// contents, device statistics — is reset cold before every run).
+type Runner struct {
+	cache map[dbKey]*gen.Database
+}
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner { return &Runner{cache: map[dbKey]*gen.Database{}} }
+
+func (r *Runner) database(e Experiment) (*gen.Database, error) {
+	key := dbKey{e.DBSize, e.Clustering, e.Sharing, e.BufferPages, e.Seed}
+	if db, ok := r.cache[key]; ok {
+		return db, nil
+	}
+	db, err := gen.Build(gen.Config{
+		NumComplexObjects: e.DBSize,
+		Clustering:        e.Clustering,
+		Sharing:           e.Sharing,
+		Seed:              e.Seed,
+		BufferPages:       e.BufferPages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.cache[key] = db
+	return db, nil
+}
+
+// Run executes one experiment cold and returns its measurements.
+func (r *Runner) Run(e Experiment) (Result, error) {
+	if e.DBSize <= 0 {
+		e.DBSize = 1000
+	}
+	if e.Window <= 0 {
+		e.Window = 1
+	}
+	db, err := r.database(e)
+	if err != nil {
+		return Result{}, err
+	}
+	// Cold start: empty pool, zeroed counters, head parked at 0 so
+	// repeated runs are bit-for-bit reproducible.
+	if err := db.Pool.EvictAll(); err != nil {
+		return Result{}, err
+	}
+	db.Pool.ResetStats()
+	db.Device.ResetStats()
+	db.Device.ResetHead()
+
+	tmpl := db.Template
+	if e.Selectivity > 0 {
+		tmpl = tmpl.Clone()
+		// Predicate on the rightmost leaf (position G): ints[1] is
+		// uniform over [0,1000).
+		leaf := tmpl.Children[1].Children[1]
+		leaf.Pred = expr.IntCmp{
+			Field: 1,
+			Op:    expr.LT,
+			Value: int32(e.Selectivity * 1000),
+			Sel:   e.Selectivity,
+		}
+	}
+
+	items := make([]volcano.Item, len(db.Roots))
+	for i, root := range db.Roots {
+		items[i] = root
+	}
+	op := assembly.New(volcano.NewSlice(items), db.Store, tmpl, assembly.Options{
+		Window:          e.Window,
+		Scheduler:       e.Scheduler,
+		UseSharingStats: e.UseSharingStats,
+		PredicateFirst:  e.PredicateFirst,
+		PinWindowPages:  e.PinWindow,
+		PageBatch:       e.PageBatch,
+	})
+	start := time.Now()
+	n, err := volcano.Count(op)
+	if err != nil {
+		return Result{}, fmt.Errorf("bench %s: %w", e.Name, err)
+	}
+	elapsed := time.Since(start)
+	if st := op.Stats(); n != st.Assembled {
+		return Result{}, fmt.Errorf("bench %s: drained %d but operator assembled %d", e.Name, n, st.Assembled)
+	}
+
+	dev := db.Device.Stats()
+	poolStats := db.Pool.Stats()
+	return Result{
+		Experiment:   e,
+		AvgSeek:      dev.AvgSeekPerRead(),
+		Reads:        dev.Reads,
+		SeekTotal:    dev.SeekReads,
+		Stats:        op.Stats(),
+		BufferHits:   poolStats.Hits,
+		BufferFaults: poolStats.Faults,
+		Elapsed:      elapsed,
+	}, nil
+}
+
+// RunNaive assembles object-at-a-time without the assembly operator at
+// all: a plain recursive traversal per complex object, the baseline
+// the paper's introduction criticizes. It exists to confirm that
+// depth-first window-1 assembly matches true naive traversal I/O.
+func (r *Runner) RunNaive(e Experiment) (Result, error) {
+	db, err := r.database(e)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := db.Pool.EvictAll(); err != nil {
+		return Result{}, err
+	}
+	db.Pool.ResetStats()
+	db.Device.ResetStats()
+	db.Device.ResetHead()
+
+	start := time.Now()
+	var fetch func(oid object.OID) error
+	fetch = func(oid object.OID) error {
+		if oid.IsNil() {
+			return nil
+		}
+		o, err := db.Store.Get(oid)
+		if err != nil {
+			return err
+		}
+		for _, c := range []object.OID{o.Refs[0], o.Refs[1]} {
+			if err := fetch(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, root := range db.Roots {
+		if err := fetch(root); err != nil {
+			return Result{}, err
+		}
+	}
+	dev := db.Device.Stats()
+	return Result{
+		Experiment: e,
+		AvgSeek:    dev.AvgSeekPerRead(),
+		Reads:      dev.Reads,
+		SeekTotal:  dev.SeekReads,
+		Elapsed:    time.Since(start),
+	}, nil
+}

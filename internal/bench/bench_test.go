@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"revelation/internal/assembly"
+	"revelation/internal/gen"
+)
+
+// Shape tests: small-scale versions of the paper's figures must show
+// the paper's qualitative results. Absolute numbers differ (simulated
+// substrate, scaled databases); the winners and orderings must not.
+
+func TestRunBasics(t *testing.T) {
+	r := NewRunner()
+	res, err := r.Run(Experiment{
+		Name: "smoke", DBSize: 200, Clustering: gen.Unclustered,
+		Scheduler: assembly.Elevator, Window: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Assembled != 200 {
+		t.Errorf("assembled %d", res.Stats.Assembled)
+	}
+	if res.Reads == 0 || res.AvgSeek <= 0 {
+		t.Errorf("no I/O measured: %+v", res)
+	}
+	if res.String() == "" {
+		t.Error("empty result string")
+	}
+}
+
+func TestRunIsColdEachTime(t *testing.T) {
+	r := NewRunner()
+	e := Experiment{Name: "cold", DBSize: 150, Scheduler: assembly.Elevator, Window: 5, Seed: 2}
+	a, err := r.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reads != b.Reads || a.SeekTotal != b.SeekTotal {
+		t.Errorf("runs not reproducible: %d/%d vs %d/%d reads/seeks",
+			a.Reads, a.SeekTotal, b.Reads, b.SeekTotal)
+	}
+}
+
+func TestNaiveMatchesDepthFirstWindow1(t *testing.T) {
+	r := NewRunner()
+	e := Experiment{Name: "naive", DBSize: 200, Clustering: gen.Unclustered,
+		Scheduler: assembly.DepthFirst, Window: 1, Seed: 3}
+	viaOp, err := r.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := r.RunNaive(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaOp.Reads != naive.Reads {
+		t.Errorf("depth-first W=1 reads %d, naive traversal %d — should match", viaOp.Reads, naive.Reads)
+	}
+	if viaOp.SeekTotal != naive.SeekTotal {
+		t.Errorf("depth-first W=1 seeks %d, naive %d", viaOp.SeekTotal, naive.SeekTotal)
+	}
+}
+
+func TestElevatorWinsAtWindow50AllClusterings(t *testing.T) {
+	// The Fig. 13 headline: "Regardless of how the data is clustered,
+	// average seek distance is smallest for elevator scheduling."
+	r := NewRunner()
+	for _, cl := range []gen.Clustering{gen.Unclustered, gen.InterObject, gen.IntraObject} {
+		seeks := map[assembly.SchedulerKind]float64{}
+		for _, sched := range []assembly.SchedulerKind{assembly.DepthFirst, assembly.BreadthFirst, assembly.Elevator} {
+			res, err := r.Run(Experiment{
+				Name: "fig13-shape", DBSize: 400, Clustering: cl,
+				Scheduler: sched, Window: 50, Seed: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seeks[sched] = res.AvgSeek
+		}
+		if seeks[assembly.Elevator] > seeks[assembly.DepthFirst] ||
+			seeks[assembly.Elevator] > seeks[assembly.BreadthFirst] {
+			t.Errorf("%v: elevator %.1f not smallest (df %.1f, bf %.1f)",
+				cl, seeks[assembly.Elevator], seeks[assembly.DepthFirst], seeks[assembly.BreadthFirst])
+		}
+	}
+}
+
+func TestBreadthFirstWorstOnInterObjectWindow1(t *testing.T) {
+	// The Fig. 11A artifact: breadth-first fetch order fights the
+	// cluster layout.
+	r := NewRunner()
+	seeks := map[assembly.SchedulerKind]float64{}
+	for _, sched := range []assembly.SchedulerKind{assembly.DepthFirst, assembly.BreadthFirst, assembly.Elevator} {
+		res, err := r.Run(Experiment{
+			Name: "fig11a-shape", DBSize: 400, Clustering: gen.InterObject,
+			Scheduler: sched, Window: 1, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeks[sched] = res.AvgSeek
+	}
+	if seeks[assembly.BreadthFirst] <= seeks[assembly.DepthFirst] {
+		t.Errorf("breadth-first %.1f should exceed depth-first %.1f on inter-object clustering",
+			seeks[assembly.BreadthFirst], seeks[assembly.DepthFirst])
+	}
+	if seeks[assembly.Elevator] > seeks[assembly.DepthFirst] {
+		t.Errorf("elevator %.1f should not exceed depth-first %.1f", seeks[assembly.Elevator], seeks[assembly.DepthFirst])
+	}
+}
+
+func TestInterObjectSeekIndependentOfDBSize(t *testing.T) {
+	// Fig. 11A's flat lines: regions are larger than any database, so
+	// average seek barely moves with database size.
+	r := NewRunner()
+	var seeks []float64
+	for _, size := range []int{200, 400, 600} {
+		res, err := r.Run(Experiment{
+			Name: "fig11a-flat", DBSize: size, Clustering: gen.InterObject,
+			Scheduler: assembly.DepthFirst, Window: 1, Seed: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeks = append(seeks, res.AvgSeek)
+	}
+	for i := 1; i < len(seeks); i++ {
+		ratio := seeks[i] / seeks[0]
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("inter-object seek varies with db size: %v", seeks)
+		}
+	}
+}
+
+func TestUnclusteredSeekGrowsWithDBSize(t *testing.T) {
+	// Fig. 11C: unclustered seek grows roughly linearly with database
+	// size (the file simply gets longer).
+	r := NewRunner()
+	small, err := r.Run(Experiment{Name: "fig11c", DBSize: 200, Clustering: gen.Unclustered,
+		Scheduler: assembly.DepthFirst, Window: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := r.Run(Experiment{Name: "fig11c", DBSize: 800, Clustering: gen.Unclustered,
+		Scheduler: assembly.DepthFirst, Window: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.AvgSeek < small.AvgSeek*2 {
+		t.Errorf("unclustered seek did not grow with db size: %.1f -> %.1f", small.AvgSeek, large.AvgSeek)
+	}
+}
+
+func TestElevatorGainsDiminishWithWindow(t *testing.T) {
+	// Fig. 14: most of the win arrives before W=50.
+	r := NewRunner()
+	seek := func(w int) float64 {
+		res, err := r.Run(Experiment{Name: "fig14-shape", DBSize: 800,
+			Clustering: gen.Unclustered, Scheduler: assembly.Elevator, Window: w, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgSeek
+	}
+	w1, w50, w200 := seek(1), seek(50), seek(200)
+	if w50 >= w1 {
+		t.Errorf("window 50 (%.1f) not better than window 1 (%.1f)", w50, w1)
+	}
+	gainEarly := w1 - w50
+	gainLate := w50 - w200
+	if gainLate > gainEarly/2 {
+		t.Errorf("no diminishing returns: early gain %.1f, late gain %.1f", gainEarly, gainLate)
+	}
+}
+
+func TestSharingStatsReduceReads(t *testing.T) {
+	// Fig. 15's second claim: sharing statistics reduce the total
+	// number of reads.
+	r := NewRunner()
+	base := Experiment{Name: "fig15-shape", DBSize: 400, Clustering: gen.InterObject,
+		Scheduler: assembly.Elevator, Window: 50, Sharing: 0.25, BufferPages: 64, Seed: 9}
+	without, err := r.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := base
+	with.UseSharingStats = true
+	withRes, err := r.Run(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withRes.Reads >= without.Reads {
+		t.Errorf("sharing stats did not reduce reads: %d vs %d", withRes.Reads, without.Reads)
+	}
+}
+
+func TestSelectiveAssemblySavesIO(t *testing.T) {
+	// Fig. 16: with a selective predicate, the assembly operator
+	// (window > 1, predicate-first) needs far fewer reads than
+	// object-at-a-time, which fully traverses before selecting.
+	r := NewRunner()
+	naive, err := r.Run(Experiment{Name: "fig16-shape", DBSize: 400, Clustering: gen.Unclustered,
+		Scheduler: assembly.DepthFirst, Window: 1, Selectivity: 0.10, BufferPages: 48, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smart, err := r.Run(Experiment{Name: "fig16-shape", DBSize: 400, Clustering: gen.Unclustered,
+		Scheduler: assembly.Elevator, Window: 50, Selectivity: 0.10, PredicateFirst: true, BufferPages: 48, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smart.Reads >= naive.Reads {
+		t.Errorf("selective assembly reads %d, naive %d", smart.Reads, naive.Reads)
+	}
+	// The deeper savings: object fetches. Naive depth-first visits the
+	// predicate leaf last, so failing trees still fetch everything;
+	// predicate-first fetches the deciding components first.
+	if smart.Stats.Fetched >= naive.Stats.Fetched {
+		t.Errorf("selective assembly fetched %d, naive %d", smart.Stats.Fetched, naive.Stats.Fetched)
+	}
+	if smart.Stats.Assembled != naive.Stats.Assembled {
+		t.Errorf("selectivity changed the result: %d vs %d objects", smart.Stats.Assembled, naive.Stats.Assembled)
+	}
+}
+
+func TestFigureTableRendering(t *testing.T) {
+	r := NewRunner()
+	fig, err := r.FigScheduling(1, 'c', 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := fig.Table()
+	for _, want := range []string{"fig11c", "elevator", "depth-first", "breadth-first"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestWindowFootprintFigure(t *testing.T) {
+	r := NewRunner()
+	fig, err := r.WindowFootprint(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, bound := fig.Series[0], fig.Series[1]
+	for i := range measured.Y {
+		// Allow the small slack for completed objects awaiting Next.
+		if measured.Y[i] > bound.Y[i]+7 {
+			t.Errorf("W=%.0f: footprint %.0f exceeds bound %.0f", measured.X[i], measured.Y[i], bound.Y[i])
+		}
+	}
+}

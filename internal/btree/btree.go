@@ -1,0 +1,418 @@
+// Package btree implements a disk-resident B+-tree over the buffer
+// pool. Volcano's file system offers heap files and B-trees (Section 3
+// of the paper); this reproduction uses the tree for the OID → physical
+// address mapping the assembly operator requires ("there is a mapping
+// from object reference to physical location", footnote 1) and for
+// ordered index scans.
+//
+// Keys and values are uint64; callers pack richer values (the object
+// layer packs RIDs). The root page id is stable across splits, so a
+// tree is reopened from (pool, root) alone.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"revelation/internal/buffer"
+	"revelation/internal/disk"
+)
+
+// Node layout (raw page bytes, little endian):
+//
+//	[0]    kind: 1 = leaf, 2 = internal
+//	[1]    unused
+//	[2:4)  nkeys uint16
+//	[4:8)  next-leaf page id (leaves only; InvalidPage when none)
+//	[8:)   entries
+//
+// Leaf entry i (16 bytes):    key u64, value u64
+// Internal node:              child0 u32 at [8:12), then entry i
+//
+//	(12 bytes): key u64, child u32.
+//
+// Children hold keys >= the separator to their left.
+const (
+	kindLeaf     = 1
+	kindInternal = 2
+
+	offKind  = 0
+	offNKeys = 2
+	offNext  = 4
+
+	leafHdr      = 8
+	leafEntry    = 16
+	internalHdr  = 12 // includes child0
+	internalEntr = 12
+)
+
+// Common errors.
+var (
+	ErrKeyExists = errors.New("btree: key already exists")
+)
+
+// Tree is a B+-tree handle.
+type Tree struct {
+	pool *buffer.Pool
+	root disk.PageID
+	// capacity overrides for tests; zero means derive from page size.
+	maxLeaf, maxInt int
+}
+
+// Create allocates and formats an empty tree, returning the handle.
+func Create(pool *buffer.Pool) (*Tree, error) {
+	f, err := pool.FixNew()
+	if err != nil {
+		return nil, err
+	}
+	initLeaf(f.Data())
+	root := f.ID()
+	if err := pool.Unfix(f, true); err != nil {
+		return nil, err
+	}
+	return &Tree{pool: pool, root: root}, nil
+}
+
+// Open returns a handle to an existing tree rooted at root.
+func Open(pool *buffer.Pool, root disk.PageID) *Tree {
+	return &Tree{pool: pool, root: root}
+}
+
+// Root returns the tree's stable root page id (store it to reopen).
+func (t *Tree) Root() disk.PageID { return t.root }
+
+// setCapacity shrinks node capacities; used by tests to force deep
+// trees on few pages.
+func (t *Tree) setCapacity(leaf, internal int) { t.maxLeaf, t.maxInt = leaf, internal }
+
+func (t *Tree) leafCap(pageSize int) int {
+	if t.maxLeaf > 0 {
+		return t.maxLeaf
+	}
+	return (pageSize - leafHdr) / leafEntry
+}
+
+func (t *Tree) intCap(pageSize int) int {
+	if t.maxInt > 0 {
+		return t.maxInt
+	}
+	return (pageSize - internalHdr) / internalEntr
+}
+
+func initLeaf(b []byte) {
+	for i := range b[:leafHdr] {
+		b[i] = 0
+	}
+	b[offKind] = kindLeaf
+	binary.LittleEndian.PutUint32(b[offNext:], uint32(disk.InvalidPage))
+}
+
+func initInternal(b []byte) {
+	for i := range b[:internalHdr] {
+		b[i] = 0
+	}
+	b[offKind] = kindInternal
+}
+
+func nkeys(b []byte) int       { return int(binary.LittleEndian.Uint16(b[offNKeys:])) }
+func setNKeys(b []byte, n int) { binary.LittleEndian.PutUint16(b[offNKeys:], uint16(n)) }
+func isLeaf(b []byte) bool     { return b[offKind] == kindLeaf }
+
+func leafNext(b []byte) disk.PageID {
+	return disk.PageID(binary.LittleEndian.Uint32(b[offNext:]))
+}
+func setLeafNext(b []byte, id disk.PageID) {
+	binary.LittleEndian.PutUint32(b[offNext:], uint32(id))
+}
+
+func leafKey(b []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(b[leafHdr+i*leafEntry:])
+}
+func leafVal(b []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(b[leafHdr+i*leafEntry+8:])
+}
+func setLeafKV(b []byte, i int, k, v uint64) {
+	binary.LittleEndian.PutUint64(b[leafHdr+i*leafEntry:], k)
+	binary.LittleEndian.PutUint64(b[leafHdr+i*leafEntry+8:], v)
+}
+
+func intKey(b []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(b[internalHdr+i*internalEntr:])
+}
+func setIntKey(b []byte, i int, k uint64) {
+	binary.LittleEndian.PutUint64(b[internalHdr+i*internalEntr:], k)
+}
+
+// child i is left of key i for i < nkeys; child nkeys is the rightmost.
+func intChild(b []byte, i int) disk.PageID {
+	if i == 0 {
+		return disk.PageID(binary.LittleEndian.Uint32(b[8:]))
+	}
+	return disk.PageID(binary.LittleEndian.Uint32(b[internalHdr+(i-1)*internalEntr+8:]))
+}
+func setIntChild(b []byte, i int, c disk.PageID) {
+	if i == 0 {
+		binary.LittleEndian.PutUint32(b[8:], uint32(c))
+		return
+	}
+	binary.LittleEndian.PutUint32(b[internalHdr+(i-1)*internalEntr+8:], uint32(c))
+}
+
+// leafSearch returns the position of the first key >= k.
+func leafSearch(b []byte, k uint64) int {
+	lo, hi := 0, nkeys(b)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if leafKey(b, mid) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// intSearch returns the child index to descend into for key k:
+// the number of separators <= k.
+func intSearch(b []byte, k uint64) int {
+	lo, hi := 0, nkeys(b)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if intKey(b, mid) <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get looks up key k, returning its value and whether it was found.
+func (t *Tree) Get(k uint64) (uint64, bool, error) {
+	id := t.root
+	for {
+		f, err := t.pool.Fix(id)
+		if err != nil {
+			return 0, false, err
+		}
+		b := f.Data()
+		if isLeaf(b) {
+			i := leafSearch(b, k)
+			var v uint64
+			found := i < nkeys(b) && leafKey(b, i) == k
+			if found {
+				v = leafVal(b, i)
+			}
+			if err := t.pool.Unfix(f, false); err != nil {
+				return 0, false, err
+			}
+			return v, found, nil
+		}
+		next := intChild(b, intSearch(b, k))
+		if err := t.pool.Unfix(f, false); err != nil {
+			return 0, false, err
+		}
+		id = next
+	}
+}
+
+// splitResult carries a child split up to the parent.
+type splitResult struct {
+	split   bool
+	sepKey  uint64
+	newPage disk.PageID
+}
+
+// Put inserts or overwrites key k.
+func (t *Tree) Put(k, v uint64) error { return t.insert(k, v, true) }
+
+// Insert adds key k, failing with ErrKeyExists if present.
+func (t *Tree) Insert(k, v uint64) error { return t.insert(k, v, false) }
+
+func (t *Tree) insert(k, v uint64, overwrite bool) error {
+	res, err := t.insertRec(t.root, k, v, overwrite)
+	if err != nil {
+		return err
+	}
+	if !res.split {
+		return nil
+	}
+	// Root split: keep the root page id stable by moving the old root
+	// contents to a fresh page and rewriting the root as an internal
+	// node over (moved old root, new sibling).
+	rootF, err := t.pool.Fix(t.root)
+	if err != nil {
+		return err
+	}
+	movedF, err := t.pool.FixNew()
+	if err != nil {
+		t.pool.Unfix(rootF, false)
+		return err
+	}
+	copy(movedF.Data(), rootF.Data())
+	b := rootF.Data()
+	initInternal(b)
+	setNKeys(b, 1)
+	setIntChild(b, 0, movedF.ID())
+	setIntKey(b, 0, res.sepKey)
+	setIntChild(b, 1, res.newPage)
+	if err := t.pool.Unfix(movedF, true); err != nil {
+		t.pool.Unfix(rootF, true)
+		return err
+	}
+	return t.pool.Unfix(rootF, true)
+}
+
+func (t *Tree) insertRec(id disk.PageID, k, v uint64, overwrite bool) (splitResult, error) {
+	f, err := t.pool.Fix(id)
+	if err != nil {
+		return splitResult{}, err
+	}
+	b := f.Data()
+	pageSize := len(b)
+
+	if isLeaf(b) {
+		i := leafSearch(b, k)
+		n := nkeys(b)
+		if i < n && leafKey(b, i) == k {
+			if !overwrite {
+				t.pool.Unfix(f, false)
+				return splitResult{}, fmt.Errorf("%w: %d", ErrKeyExists, k)
+			}
+			setLeafKV(b, i, k, v)
+			return splitResult{}, t.pool.Unfix(f, true)
+		}
+		if n < t.leafCap(pageSize) {
+			// Shift entries right and insert.
+			copy(b[leafHdr+(i+1)*leafEntry:leafHdr+(n+1)*leafEntry], b[leafHdr+i*leafEntry:leafHdr+n*leafEntry])
+			setLeafKV(b, i, k, v)
+			setNKeys(b, n+1)
+			return splitResult{}, t.pool.Unfix(f, true)
+		}
+		// Split the leaf.
+		newF, err := t.pool.FixNew()
+		if err != nil {
+			t.pool.Unfix(f, false)
+			return splitResult{}, err
+		}
+		nb := newF.Data()
+		initLeaf(nb)
+		mid := (n + 1) / 2
+		moved := n - mid
+		copy(nb[leafHdr:leafHdr+moved*leafEntry], b[leafHdr+mid*leafEntry:leafHdr+n*leafEntry])
+		setNKeys(nb, moved)
+		setNKeys(b, mid)
+		setLeafNext(nb, leafNext(b))
+		setLeafNext(b, newF.ID())
+		// Insert into the proper half.
+		if i <= mid && (i < mid || k < leafKey(nb, 0)) {
+			n = mid
+			copy(b[leafHdr+(i+1)*leafEntry:leafHdr+(n+1)*leafEntry], b[leafHdr+i*leafEntry:leafHdr+n*leafEntry])
+			setLeafKV(b, i, k, v)
+			setNKeys(b, n+1)
+		} else {
+			j := i - mid
+			copy(nb[leafHdr+(j+1)*leafEntry:leafHdr+(moved+1)*leafEntry], nb[leafHdr+j*leafEntry:leafHdr+moved*leafEntry])
+			setLeafKV(nb, j, k, v)
+			setNKeys(nb, moved+1)
+		}
+		sep := leafKey(nb, 0)
+		newID := newF.ID()
+		if err := t.pool.Unfix(newF, true); err != nil {
+			t.pool.Unfix(f, true)
+			return splitResult{}, err
+		}
+		if err := t.pool.Unfix(f, true); err != nil {
+			return splitResult{}, err
+		}
+		return splitResult{split: true, sepKey: sep, newPage: newID}, nil
+	}
+
+	// Internal node: descend, then absorb any child split.
+	ci := intSearch(b, k)
+	child := intChild(b, ci)
+	// Unfix during recursion to keep the pinned set O(1); re-fix after.
+	if err := t.pool.Unfix(f, false); err != nil {
+		return splitResult{}, err
+	}
+	res, err := t.insertRec(child, k, v, overwrite)
+	if err != nil || !res.split {
+		return splitResult{}, err
+	}
+	f, err = t.pool.Fix(id)
+	if err != nil {
+		return splitResult{}, err
+	}
+	b = f.Data()
+	n := nkeys(b)
+	if n < t.intCap(pageSize) {
+		insertSeparator(b, ci, res.sepKey, res.newPage)
+		return splitResult{}, t.pool.Unfix(f, true)
+	}
+	// Split the internal node. Gather keys/children, include the new
+	// separator, then redistribute around a median that moves up.
+	keys := make([]uint64, 0, n+1)
+	children := make([]disk.PageID, 0, n+2)
+	children = append(children, intChild(b, 0))
+	for i := 0; i < n; i++ {
+		keys = append(keys, intKey(b, i))
+		children = append(children, intChild(b, i+1))
+	}
+	// Insert new separator at position ci.
+	keys = append(keys, 0)
+	copy(keys[ci+1:], keys[ci:])
+	keys[ci] = res.sepKey
+	children = append(children, 0)
+	copy(children[ci+2:], children[ci+1:])
+	children[ci+1] = res.newPage
+
+	total := len(keys)
+	midIdx := total / 2
+	upKey := keys[midIdx]
+
+	newF, err := t.pool.FixNew()
+	if err != nil {
+		t.pool.Unfix(f, false)
+		return splitResult{}, err
+	}
+	nb := newF.Data()
+	initInternal(nb)
+	// Left keeps keys[:midIdx], children[:midIdx+1].
+	initInternal(b)
+	setNKeys(b, midIdx)
+	setIntChild(b, 0, children[0])
+	for i := 0; i < midIdx; i++ {
+		setIntKey(b, i, keys[i])
+		setIntChild(b, i+1, children[i+1])
+	}
+	// Right gets keys[midIdx+1:], children[midIdx+1:].
+	rightKeys := keys[midIdx+1:]
+	setNKeys(nb, len(rightKeys))
+	setIntChild(nb, 0, children[midIdx+1])
+	for i, rk := range rightKeys {
+		setIntKey(nb, i, rk)
+		setIntChild(nb, i+1, children[midIdx+2+i])
+	}
+	newID := newF.ID()
+	if err := t.pool.Unfix(newF, true); err != nil {
+		t.pool.Unfix(f, true)
+		return splitResult{}, err
+	}
+	if err := t.pool.Unfix(f, true); err != nil {
+		return splitResult{}, err
+	}
+	return splitResult{split: true, sepKey: upKey, newPage: newID}, nil
+}
+
+// insertSeparator adds (key, rightChild) after child index ci in a
+// non-full internal node.
+func insertSeparator(b []byte, ci int, key uint64, right disk.PageID) {
+	n := nkeys(b)
+	// Shift keys and right-children starting at position ci.
+	copy(b[internalHdr+(ci+1)*internalEntr:internalHdr+(n+1)*internalEntr],
+		b[internalHdr+ci*internalEntr:internalHdr+n*internalEntr])
+	setIntKey(b, ci, key)
+	setIntChild(b, ci+1, right)
+	setNKeys(b, n+1)
+}

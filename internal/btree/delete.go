@@ -1,0 +1,231 @@
+package btree
+
+import (
+	"revelation/internal/disk"
+)
+
+// Delete removes key k, reporting whether it was present. Underflowing
+// nodes are rebalanced by borrowing from or merging with a sibling, so
+// the tree stays within its height bounds under mixed workloads.
+func (t *Tree) Delete(k uint64) (bool, error) {
+	found, _, err := t.deleteRec(t.root, k)
+	if err != nil || !found {
+		return found, err
+	}
+	// Collapse the root if it is an internal node with a single child:
+	// copy that child into the root page to keep the root id stable.
+	f, err := t.pool.Fix(t.root)
+	if err != nil {
+		return true, err
+	}
+	b := f.Data()
+	if !isLeaf(b) && nkeys(b) == 0 {
+		only := intChild(b, 0)
+		cf, err := t.pool.Fix(only)
+		if err != nil {
+			t.pool.Unfix(f, false)
+			return true, err
+		}
+		copy(b, cf.Data())
+		if err := t.pool.Unfix(cf, false); err != nil {
+			t.pool.Unfix(f, true)
+			return true, err
+		}
+		// The child's page is now garbage; a real system would return
+		// it to a free list. The simulated device does not reclaim.
+		return true, t.pool.Unfix(f, true)
+	}
+	return true, t.pool.Unfix(f, false)
+}
+
+// minLeaf/minInt are the underflow thresholds.
+func (t *Tree) minLeaf(pageSize int) int { return t.leafCap(pageSize) / 2 }
+func (t *Tree) minInt(pageSize int) int  { return t.intCap(pageSize) / 2 }
+
+// deleteRec removes k from the subtree at id. It reports whether the
+// key was found and whether the node at id is now under-full (the
+// parent decides how to fix it).
+func (t *Tree) deleteRec(id disk.PageID, k uint64) (found, underflow bool, err error) {
+	f, err := t.pool.Fix(id)
+	if err != nil {
+		return false, false, err
+	}
+	b := f.Data()
+	pageSize := len(b)
+
+	if isLeaf(b) {
+		i := leafSearch(b, k)
+		n := nkeys(b)
+		if i >= n || leafKey(b, i) != k {
+			return false, false, t.pool.Unfix(f, false)
+		}
+		copy(b[leafHdr+i*leafEntry:leafHdr+(n-1)*leafEntry], b[leafHdr+(i+1)*leafEntry:leafHdr+n*leafEntry])
+		setNKeys(b, n-1)
+		under := n-1 < t.minLeaf(pageSize)
+		return true, under, t.pool.Unfix(f, true)
+	}
+
+	ci := intSearch(b, k)
+	child := intChild(b, ci)
+	if err := t.pool.Unfix(f, false); err != nil {
+		return false, false, err
+	}
+	found, childUnder, err := t.deleteRec(child, k)
+	if err != nil || !found || !childUnder {
+		return found, false, err
+	}
+	// Fix the under-full child by borrowing or merging.
+	f, err = t.pool.Fix(id)
+	if err != nil {
+		return true, false, err
+	}
+	b = f.Data()
+	under, err := t.rebalanceChild(b, ci)
+	if err != nil {
+		t.pool.Unfix(f, true)
+		return true, false, err
+	}
+	return true, under && nkeys(b) < t.minInt(pageSize), t.pool.Unfix(f, true)
+}
+
+// rebalanceChild restores the invariants of the ci-th child of the
+// internal node b. It returns whether b itself lost a separator (after
+// a merge), which may propagate underflow upward.
+func (t *Tree) rebalanceChild(b []byte, ci int) (lostSeparator bool, err error) {
+	n := nkeys(b)
+	// Prefer borrowing from the left sibling, then the right; merge as
+	// a last resort.
+	if ci > 0 {
+		ok, err := t.tryBorrow(b, ci-1, ci, true)
+		if err != nil || ok {
+			return false, err
+		}
+	}
+	if ci < n {
+		ok, err := t.tryBorrow(b, ci, ci+1, false)
+		if err != nil || ok {
+			return false, err
+		}
+	}
+	if ci > 0 {
+		return true, t.merge(b, ci-1)
+	}
+	return true, t.merge(b, ci)
+}
+
+// tryBorrow moves one entry between the adjacent children li and ri
+// (= li+1) of internal node b. intoRight=true shifts an entry from the
+// left sibling into the under-full right child; intoRight=false shifts
+// from the right sibling into the under-full left child. It reports
+// whether a move happened (the donor must stay above its minimum).
+func (t *Tree) tryBorrow(b []byte, li, ri int, intoRight bool) (bool, error) {
+	lf, err := t.pool.Fix(intChild(b, li))
+	if err != nil {
+		return false, err
+	}
+	rf, err := t.pool.Fix(intChild(b, ri))
+	if err != nil {
+		t.pool.Unfix(lf, false)
+		return false, err
+	}
+	lb, rb := lf.Data(), rf.Data()
+	pageSize := len(lb)
+	ln, rn := nkeys(lb), nkeys(rb)
+	moved := false
+
+	if isLeaf(lb) {
+		minN := t.minLeaf(pageSize)
+		if intoRight && ln > minN {
+			// Shift right sibling, move left's last entry over.
+			copy(rb[leafHdr+leafEntry:leafHdr+(rn+1)*leafEntry], rb[leafHdr:leafHdr+rn*leafEntry])
+			setLeafKV(rb, 0, leafKey(lb, ln-1), leafVal(lb, ln-1))
+			setNKeys(rb, rn+1)
+			setNKeys(lb, ln-1)
+			setIntKey(b, li, leafKey(rb, 0))
+			moved = true
+		} else if !intoRight && rn > minN {
+			setLeafKV(lb, ln, leafKey(rb, 0), leafVal(rb, 0))
+			setNKeys(lb, ln+1)
+			copy(rb[leafHdr:leafHdr+(rn-1)*leafEntry], rb[leafHdr+leafEntry:leafHdr+rn*leafEntry])
+			setNKeys(rb, rn-1)
+			setIntKey(b, li, leafKey(rb, 0))
+			moved = true
+		}
+	} else {
+		minN := t.minInt(pageSize)
+		sep := intKey(b, li)
+		if intoRight && ln > minN {
+			// Rotate through the parent: parent separator goes down to
+			// the right child; left child's last key goes up.
+			copy(rb[internalHdr+internalEntr:internalHdr+(rn+1)*internalEntr], rb[internalHdr:internalHdr+rn*internalEntr])
+			// child0 of right becomes entry 0's left; old child0 shifts
+			// into entry position via the copy above? Entries carry
+			// (key, rightChild), so shift entries then set entry 0.
+			setIntKey(rb, 0, sep)
+			setIntChild(rb, 1, intChild(rb, 0))
+			setIntChild(rb, 0, intChild(lb, ln))
+			setNKeys(rb, rn+1)
+			setIntKey(b, li, intKey(lb, ln-1))
+			setNKeys(lb, ln-1)
+			moved = true
+		} else if !intoRight && rn > minN {
+			setIntKey(lb, ln, sep)
+			setIntChild(lb, ln+1, intChild(rb, 0))
+			setNKeys(lb, ln+1)
+			setIntKey(b, li, intKey(rb, 0))
+			setIntChild(rb, 0, intChild(rb, 1))
+			copy(rb[internalHdr:internalHdr+(rn-1)*internalEntr], rb[internalHdr+internalEntr:internalHdr+rn*internalEntr])
+			setNKeys(rb, rn-1)
+			moved = true
+		}
+	}
+
+	if err := t.pool.Unfix(rf, moved); err != nil {
+		t.pool.Unfix(lf, moved)
+		return false, err
+	}
+	return moved, t.pool.Unfix(lf, moved)
+}
+
+// merge combines children li and li+1 of internal node b into the left
+// child and removes separator li from b.
+func (t *Tree) merge(b []byte, li int) error {
+	lf, err := t.pool.Fix(intChild(b, li))
+	if err != nil {
+		return err
+	}
+	rf, err := t.pool.Fix(intChild(b, li+1))
+	if err != nil {
+		t.pool.Unfix(lf, false)
+		return err
+	}
+	lb, rb := lf.Data(), rf.Data()
+	ln, rn := nkeys(lb), nkeys(rb)
+
+	if isLeaf(lb) {
+		copy(lb[leafHdr+ln*leafEntry:leafHdr+(ln+rn)*leafEntry], rb[leafHdr:leafHdr+rn*leafEntry])
+		setNKeys(lb, ln+rn)
+		setLeafNext(lb, leafNext(rb))
+	} else {
+		sep := intKey(b, li)
+		setIntKey(lb, ln, sep)
+		setIntChild(lb, ln+1, intChild(rb, 0))
+		for i := 0; i < rn; i++ {
+			setIntKey(lb, ln+1+i, intKey(rb, i))
+			setIntChild(lb, ln+2+i, intChild(rb, i+1))
+		}
+		setNKeys(lb, ln+1+rn)
+	}
+
+	// Remove separator li and the right child pointer from b.
+	n := nkeys(b)
+	copy(b[internalHdr+li*internalEntr:internalHdr+(n-1)*internalEntr],
+		b[internalHdr+(li+1)*internalEntr:internalHdr+n*internalEntr])
+	setNKeys(b, n-1)
+
+	if err := t.pool.Unfix(rf, true); err != nil {
+		t.pool.Unfix(lf, true)
+		return err
+	}
+	return t.pool.Unfix(lf, true)
+}

@@ -1,0 +1,163 @@
+package btree
+
+import (
+	"fmt"
+
+	"revelation/internal/disk"
+)
+
+// Scan visits every (key, value) with from <= key <= to in ascending
+// key order, following leaf sibling links. fn returning false stops the
+// scan early.
+func (t *Tree) Scan(from, to uint64, fn func(k, v uint64) bool) error {
+	// Descend to the leaf that could contain `from`.
+	id := t.root
+	for {
+		f, err := t.pool.Fix(id)
+		if err != nil {
+			return err
+		}
+		b := f.Data()
+		if isLeaf(b) {
+			if err := t.pool.Unfix(f, false); err != nil {
+				return err
+			}
+			break
+		}
+		next := intChild(b, intSearch(b, from))
+		if err := t.pool.Unfix(f, false); err != nil {
+			return err
+		}
+		id = next
+	}
+	// Walk the leaf chain.
+	for id != disk.InvalidPage {
+		f, err := t.pool.Fix(id)
+		if err != nil {
+			return err
+		}
+		b := f.Data()
+		n := nkeys(b)
+		i := leafSearch(b, from)
+		for ; i < n; i++ {
+			k := leafKey(b, i)
+			if k > to {
+				return t.pool.Unfix(f, false)
+			}
+			if !fn(k, leafVal(b, i)) {
+				return t.pool.Unfix(f, false)
+			}
+		}
+		next := leafNext(b)
+		if err := t.pool.Unfix(f, false); err != nil {
+			return err
+		}
+		id = next
+	}
+	return nil
+}
+
+// Len counts the keys in the tree (a full leaf-chain walk).
+func (t *Tree) Len() (int, error) {
+	n := 0
+	err := t.Scan(0, ^uint64(0), func(uint64, uint64) bool { n++; return true })
+	return n, err
+}
+
+// Height returns the number of levels (1 for a lone leaf root).
+func (t *Tree) Height() (int, error) {
+	h := 1
+	id := t.root
+	for {
+		f, err := t.pool.Fix(id)
+		if err != nil {
+			return 0, err
+		}
+		b := f.Data()
+		leaf := isLeaf(b)
+		next := disk.InvalidPage
+		if !leaf {
+			next = intChild(b, 0)
+		}
+		if err := t.pool.Unfix(f, false); err != nil {
+			return 0, err
+		}
+		if leaf {
+			return h, nil
+		}
+		h++
+		id = next
+	}
+}
+
+// Validate checks the structural invariants of the whole tree: key
+// ordering within nodes, separator bounds, uniform leaf depth, and
+// minimum fill of non-root nodes. It returns a descriptive error on the
+// first violation; tests lean on it after randomized workloads.
+func (t *Tree) Validate() error {
+	depth := -1
+	var check func(id disk.PageID, lo, hi uint64, isRoot bool, level int) error
+	check = func(id disk.PageID, lo, hi uint64, isRoot bool, level int) error {
+		f, err := t.pool.Fix(id)
+		if err != nil {
+			return err
+		}
+		defer t.pool.Unfix(f, false)
+		b := f.Data()
+		n := nkeys(b)
+		pageSize := len(b)
+		if isLeaf(b) {
+			if depth == -1 {
+				depth = level
+			} else if depth != level {
+				return fmt.Errorf("btree: leaf %d at depth %d, expected %d", id, level, depth)
+			}
+			if !isRoot && n < t.minLeaf(pageSize) {
+				return fmt.Errorf("btree: leaf %d under-full: %d keys", id, n)
+			}
+			var prev uint64
+			for i := 0; i < n; i++ {
+				k := leafKey(b, i)
+				if i > 0 && k <= prev {
+					return fmt.Errorf("btree: leaf %d keys out of order at %d", id, i)
+				}
+				if k < lo {
+					return fmt.Errorf("btree: leaf %d key %d below bound %d", id, k, lo)
+				}
+				if k > hi {
+					return fmt.Errorf("btree: leaf %d key %d above bound %d", id, k, hi)
+				}
+				prev = k
+			}
+			return nil
+		}
+		if !isRoot && n < t.minInt(pageSize) {
+			return fmt.Errorf("btree: internal %d under-full: %d keys", id, n)
+		}
+		if n == 0 && !isRoot {
+			return fmt.Errorf("btree: internal %d empty", id)
+		}
+		prevKey := lo
+		for i := 0; i < n; i++ {
+			k := intKey(b, i)
+			if i > 0 && k <= prevKey {
+				return fmt.Errorf("btree: internal %d separators out of order at %d", id, i)
+			}
+			prevKey = k
+		}
+		for i := 0; i <= n; i++ {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = intKey(b, i-1)
+			}
+			if i < n {
+				chi = intKey(b, i) - 1
+			}
+			if err := check(intChild(b, i), clo, chi, false, level+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check(t.root, 0, ^uint64(0), true, 0)
+}

@@ -1,0 +1,69 @@
+package buffer
+
+import (
+	"testing"
+
+	"revelation/internal/disk"
+)
+
+func BenchmarkFixHit(b *testing.B) {
+	d := disk.New(8)
+	p := New(d, 8, LRU)
+	f, err := p.Fix(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Unfix(f, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := p.Fix(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Unfix(f, false)
+	}
+}
+
+func BenchmarkFixMissLRU(b *testing.B) {
+	benchFixMiss(b, LRU)
+}
+
+func BenchmarkFixMissClock(b *testing.B) {
+	benchFixMiss(b, Clock)
+}
+
+func benchFixMiss(b *testing.B, policy Policy) {
+	b.Helper()
+	d := disk.New(4096)
+	p := New(d, 64, policy)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Stride through far more pages than frames: every Fix evicts.
+		id := disk.PageID((i * 127) % 4096)
+		f, err := p.Fix(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Unfix(f, false)
+	}
+}
+
+func BenchmarkFixNewAndFlush(b *testing.B) {
+	d := disk.New(0)
+	p := New(d, 256, LRU)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := p.FixNew()
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.Data()[0] = byte(i)
+		if err := p.Unfix(f, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := p.FlushAll(); err != nil {
+		b.Fatal(err)
+	}
+}

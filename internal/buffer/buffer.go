@@ -1,0 +1,408 @@
+// Package buffer implements the Volcano-style buffer manager the
+// assembly operator runs against: a fixed pool of page frames with
+// pinning, pluggable replacement (LRU or Clock), dirty write-back, and
+// hit/fault statistics.
+//
+// The paper leans on two buffer behaviours that this package makes
+// explicit. First, partially assembled complex objects keep their pages
+// pinned, so the window size bounds the pool footprint (Section 6.3.3's
+// "6·(W−1)+7 pages" calculation). Second, sharing statistics let the
+// assembly operator hint that a page holding a shared component should
+// survive replacement until its expected references are consumed
+// (Section 5); hints are advisory priorities consulted by the replacer.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"revelation/internal/disk"
+)
+
+// Common errors.
+var (
+	ErrNoFrames   = errors.New("buffer: all frames pinned")
+	ErrNotPinned  = errors.New("buffer: page not pinned")
+	ErrPoolClosed = errors.New("buffer: pool closed")
+)
+
+// Stats captures the pool counters used in the evaluation.
+type Stats struct {
+	Hits      int64 // requests satisfied without device access
+	Faults    int64 // requests that required a device read
+	Evictions int64 // frames reused for a different page
+	Flushes   int64 // dirty page write-backs
+	PeakPins  int   // high-water mark of simultaneously pinned frames
+}
+
+// HitRate returns Hits / (Hits+Faults), or zero before any request.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Faults
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Frame is a buffer slot. Callers receive *Frame from Fix and must
+// return it with Unfix. The page image is valid while pinned.
+type Frame struct {
+	id     disk.PageID
+	data   []byte
+	pins   int
+	dirty  bool
+	hot    bool // clock reference bit
+	stamp  int64
+	sticky bool // sharing hint: prefer keeping this page
+	index  int  // position in pool.frames
+}
+
+// ID returns the page id currently held by the frame.
+func (f *Frame) ID() disk.PageID { return f.id }
+
+// Data returns the page image. Only valid while the frame is pinned.
+func (f *Frame) Data() []byte { return f.data }
+
+// Policy selects the replacement algorithm.
+type Policy int
+
+// Replacement policies.
+const (
+	LRU Policy = iota
+	Clock
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case Clock:
+		return "clock"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Pool is the buffer manager.
+type Pool struct {
+	mu     sync.Mutex
+	dev    disk.Device
+	policy Policy
+
+	frames []*Frame
+	table  map[disk.PageID]*Frame
+	tick   int64
+	hand   int
+	stats  Stats
+	closed bool
+}
+
+// New creates a pool of n frames over dev using the given policy.
+func New(dev disk.Device, n int, policy Policy) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{
+		dev:    dev,
+		policy: policy,
+		table:  make(map[disk.PageID]*Frame, n),
+	}
+	for i := 0; i < n; i++ {
+		p.frames = append(p.frames, &Frame{
+			id:    disk.InvalidPage,
+			data:  make([]byte, dev.PageSize()),
+			index: i,
+		})
+	}
+	return p
+}
+
+// Size returns the number of frames in the pool.
+func (p *Pool) Size() int { return len(p.frames) }
+
+// Device returns the underlying device.
+func (p *Pool) Device() disk.Device { return p.dev }
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// PinnedFrames counts currently pinned frames.
+func (p *Pool) PinnedFrames() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pinnedLocked()
+}
+
+func (p *Pool) pinnedLocked() int {
+	n := 0
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Fix pins page id into a frame, reading it from the device on a miss,
+// and returns the frame. Every successful Fix must be paired with an
+// Unfix.
+func (p *Pool) Fix(id disk.PageID) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	p.tick++
+	if f, ok := p.table[id]; ok {
+		f.pins++
+		f.hot = true
+		f.stamp = p.tick
+		p.stats.Hits++
+		p.notePins()
+		return f, nil
+	}
+	f, err := p.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.dev.ReadPage(id, f.data); err != nil {
+		// Leave the frame free for the next caller.
+		f.id = disk.InvalidPage
+		return nil, err
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = false
+	f.hot = true
+	f.sticky = false
+	f.stamp = p.tick
+	p.table[id] = f
+	p.stats.Faults++
+	p.notePins()
+	return f, nil
+}
+
+// FixNew allocates a fresh page on the device, pins it with zeroed
+// contents, and returns the frame. The page is marked dirty so the
+// zero image reaches the device on eviction or flush.
+func (p *Pool) FixNew() (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	id, err := p.dev.Allocate(1)
+	if err != nil {
+		return nil, err
+	}
+	f, err := p.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	p.tick++
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = true
+	f.hot = true
+	f.sticky = false
+	f.stamp = p.tick
+	p.table[id] = f
+	p.notePins()
+	return f, nil
+}
+
+func (p *Pool) notePins() {
+	if n := p.pinnedLocked(); n > p.stats.PeakPins {
+		p.stats.PeakPins = n
+	}
+}
+
+// victimLocked finds a frame to (re)use: an empty frame if available,
+// otherwise an unpinned victim chosen by the policy. Sticky frames are
+// skipped unless every candidate is sticky.
+func (p *Pool) victimLocked() (*Frame, error) {
+	for _, f := range p.frames {
+		if f.id == disk.InvalidPage {
+			return f, nil
+		}
+	}
+	var victim *Frame
+	switch p.policy {
+	case Clock:
+		victim = p.clockVictim(false)
+		if victim == nil {
+			victim = p.clockVictim(true)
+		}
+	default:
+		victim = p.lruVictim(false)
+		if victim == nil {
+			victim = p.lruVictim(true)
+		}
+	}
+	if victim == nil {
+		return nil, ErrNoFrames
+	}
+	if victim.dirty {
+		if err := p.dev.WritePage(victim.id, victim.data); err != nil {
+			return nil, err
+		}
+		p.stats.Flushes++
+	}
+	delete(p.table, victim.id)
+	victim.id = disk.InvalidPage
+	victim.dirty = false
+	victim.sticky = false
+	p.stats.Evictions++
+	return victim, nil
+}
+
+func (p *Pool) lruVictim(allowSticky bool) *Frame {
+	var victim *Frame
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			continue
+		}
+		if f.sticky && !allowSticky {
+			continue
+		}
+		if victim == nil || f.stamp < victim.stamp {
+			victim = f
+		}
+	}
+	return victim
+}
+
+func (p *Pool) clockVictim(allowSticky bool) *Frame {
+	n := len(p.frames)
+	// Two full sweeps: the first clears reference bits.
+	for i := 0; i < 2*n; i++ {
+		f := p.frames[p.hand]
+		p.hand = (p.hand + 1) % n
+		if f.pins > 0 {
+			continue
+		}
+		if f.sticky && !allowSticky {
+			continue
+		}
+		if f.hot {
+			f.hot = false
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+// Unfix releases one pin on the frame; setDirty marks the page as
+// modified so it is written back before reuse.
+func (p *Pool) Unfix(f *Frame, setDirty bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pins <= 0 {
+		return fmt.Errorf("%w: page %d", ErrNotPinned, f.id)
+	}
+	f.pins--
+	if setDirty {
+		f.dirty = true
+	}
+	return nil
+}
+
+// SetSticky marks or clears the sharing hint on a resident page: a
+// sticky page is passed over by the replacer while any non-sticky
+// candidate exists. Missing pages are ignored (the hint is advisory).
+func (p *Pool) SetSticky(id disk.PageID, sticky bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.table[id]; ok {
+		f.sticky = sticky
+	}
+}
+
+// Contains reports whether the page is resident (pinned or not).
+func (p *Pool) Contains(id disk.PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.table[id]
+	return ok
+}
+
+// FlushAll writes every dirty resident page back to the device.
+// Pinned pages are flushed too (their pins remain).
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushLocked()
+}
+
+func (p *Pool) flushLocked() error {
+	for _, f := range p.frames {
+		if f.id == disk.InvalidPage || !f.dirty {
+			continue
+		}
+		if err := p.dev.WritePage(f.id, f.data); err != nil {
+			return err
+		}
+		f.dirty = false
+		p.stats.Flushes++
+	}
+	return nil
+}
+
+// EvictAll flushes every dirty page and empties the pool, so the next
+// accesses start cold. Experiments call it after database generation:
+// the paper measures disk behaviour, which a warm pool would hide. It
+// fails if any frame is pinned.
+func (p *Pool) EvictAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: evict-all with page %d pinned", f.id)
+		}
+	}
+	if err := p.flushLocked(); err != nil {
+		return err
+	}
+	for _, f := range p.frames {
+		if f.id != disk.InvalidPage {
+			delete(p.table, f.id)
+			f.id = disk.InvalidPage
+			f.hot = false
+			f.sticky = false
+		}
+	}
+	return nil
+}
+
+// Close flushes dirty pages and marks the pool unusable. It fails if
+// any frame is still pinned, which indicates a fix/unfix imbalance.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: close with page %d still pinned", f.id)
+		}
+	}
+	p.closed = true
+	return p.flushLocked()
+}

@@ -1,0 +1,66 @@
+package disk
+
+import (
+	"math"
+	"time"
+)
+
+// TimeModel converts the simulated seek statistics into an estimated
+// service time, using the classical square-root seek curve (seek time
+// grows with the square root of the distance once the arm is moving —
+// cf. Scranton et al., "The Access Time Myth", which the paper cites
+// when it argues seek distance is the cost that matters).
+//
+// The zero value is unusable; start from DefaultTimeModel.
+type TimeModel struct {
+	// SeekStartup is the fixed cost of any non-zero seek (arm
+	// acceleration + settle).
+	SeekStartup time.Duration
+	// SeekFullStroke is the cost of a seek across FullStrokePages.
+	SeekFullStroke time.Duration
+	// FullStrokePages scales distances: a seek of d pages costs
+	// SeekStartup + (SeekFullStroke-SeekStartup)·sqrt(d/FullStrokePages).
+	FullStrokePages int64
+	// Rotation is the average rotational latency per access.
+	Rotation time.Duration
+	// Transfer is the page transfer time.
+	Transfer time.Duration
+}
+
+// DefaultTimeModel approximates a late-1980s disk of the paper's era:
+// ~4 ms minimum seek, ~28 ms full stroke over ~50k pages (a ~50 MB
+// spindle of 1 KB pages), 8.3 ms average rotation (3600 rpm), 1 ms
+// transfer.
+var DefaultTimeModel = TimeModel{
+	SeekStartup:     4 * time.Millisecond,
+	SeekFullStroke:  28 * time.Millisecond,
+	FullStrokePages: 50_000,
+	Rotation:        8300 * time.Microsecond,
+	Transfer:        time.Millisecond,
+}
+
+// SeekTime estimates the cost of one seek of d pages.
+func (m TimeModel) SeekTime(d int64) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	frac := math.Sqrt(float64(d) / float64(m.FullStrokePages))
+	if frac > 1 {
+		frac = 1
+	}
+	return m.SeekStartup + time.Duration(float64(m.SeekFullStroke-m.SeekStartup)*frac)
+}
+
+// Estimate converts aggregate statistics into service time, charging
+// every access rotation + transfer and the average observed seek per
+// read (the statistics do not retain each individual distance, so the
+// average is used; with SCAN scheduling distances are fairly uniform).
+func (m TimeModel) Estimate(s Stats) time.Duration {
+	accesses := s.Reads + s.Writes
+	if accesses == 0 {
+		return 0
+	}
+	fixed := time.Duration(accesses) * (m.Rotation + m.Transfer)
+	avg := s.SeekTotal / accesses
+	return fixed + time.Duration(accesses)*m.SeekTime(avg)
+}

@@ -1,0 +1,55 @@
+package disk
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSeekTimeMonotoneAndBounded(t *testing.T) {
+	m := DefaultTimeModel
+	if m.SeekTime(0) != 0 {
+		t.Errorf("zero-distance seek costs %v", m.SeekTime(0))
+	}
+	prev := time.Duration(0)
+	for _, d := range []int64{1, 10, 100, 1000, 10000, 50000, 500000} {
+		cur := m.SeekTime(d)
+		if cur < prev {
+			t.Errorf("SeekTime(%d) = %v < previous %v", d, cur, prev)
+		}
+		prev = cur
+	}
+	if m.SeekTime(1) < m.SeekStartup {
+		t.Errorf("short seek below startup cost: %v", m.SeekTime(1))
+	}
+	// Beyond full stroke the cost is clamped.
+	if m.SeekTime(10*m.FullStrokePages) != m.SeekTime(m.FullStrokePages) {
+		t.Error("full-stroke clamp missing")
+	}
+}
+
+func TestEstimateChargesEveryAccess(t *testing.T) {
+	m := DefaultTimeModel
+	if m.Estimate(Stats{}) != 0 {
+		t.Error("empty stats cost non-zero time")
+	}
+	short := Stats{Reads: 100, SeekTotal: 100} // avg seek 1
+	long := Stats{Reads: 100, SeekTotal: 100_000}
+	if m.Estimate(long) <= m.Estimate(short) {
+		t.Errorf("longer seeks not more expensive: %v vs %v", m.Estimate(long), m.Estimate(short))
+	}
+	// The fixed rotation+transfer floor applies.
+	if m.Estimate(short) < 100*(m.Rotation+m.Transfer) {
+		t.Errorf("estimate below rotational floor: %v", m.Estimate(short))
+	}
+}
+
+func TestEstimateReflectsSchedulingGains(t *testing.T) {
+	// The elevator-vs-naive improvement must survive the time model:
+	// same reads, smaller seeks, less estimated time.
+	m := DefaultTimeModel
+	naive := Stats{Reads: 7000, SeekTotal: 7000 * 1000}
+	elevator := Stats{Reads: 7000, SeekTotal: 7000 * 75}
+	if m.Estimate(elevator) >= m.Estimate(naive) {
+		t.Errorf("elevator %v not cheaper than naive %v", m.Estimate(elevator), m.Estimate(naive))
+	}
+}

@@ -1,0 +1,264 @@
+// Package expr provides the predicate language evaluated both by the
+// Volcano filter operator and inside the assembly operator's selective
+// assembly (Section 6.5 of the paper). Every predicate carries a
+// selectivity estimate: the template annotations of Section 5 use it to
+// schedule high-rejection-probability components first.
+package expr
+
+import (
+	"fmt"
+
+	"revelation/internal/object"
+)
+
+// Predicate evaluates a condition over one storage-layer object.
+type Predicate interface {
+	// Eval reports whether the object satisfies the predicate.
+	Eval(o *object.Object) bool
+	// Selectivity estimates the fraction of objects that pass, in
+	// [0, 1]. Used for scheduling, never for correctness.
+	Selectivity() float64
+	// String renders the predicate for plans and traces.
+	String() string
+}
+
+// CmpOp is a comparison operator for integer attributes.
+type CmpOp int
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+func (op CmpOp) apply(a, b int32) bool {
+	switch op {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	case GE:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// IntCmp compares integer attribute Field against a constant.
+type IntCmp struct {
+	Field int
+	Op    CmpOp
+	Value int32
+	Sel   float64 // estimated selectivity; 0 means "unknown", treated as 0.5
+}
+
+// Eval implements Predicate. Objects without the field fail.
+func (p IntCmp) Eval(o *object.Object) bool {
+	if p.Field < 0 || p.Field >= len(o.Ints) {
+		return false
+	}
+	return p.Op.apply(o.Ints[p.Field], p.Value)
+}
+
+// Selectivity implements Predicate.
+func (p IntCmp) Selectivity() float64 {
+	if p.Sel <= 0 || p.Sel > 1 {
+		return 0.5
+	}
+	return p.Sel
+}
+
+func (p IntCmp) String() string {
+	return fmt.Sprintf("ints[%d] %v %d", p.Field, p.Op, p.Value)
+}
+
+// IntRange checks Lo <= field <= Hi.
+type IntRange struct {
+	Field  int
+	Lo, Hi int32
+	Sel    float64
+}
+
+// Eval implements Predicate.
+func (p IntRange) Eval(o *object.Object) bool {
+	if p.Field < 0 || p.Field >= len(o.Ints) {
+		return false
+	}
+	v := o.Ints[p.Field]
+	return v >= p.Lo && v <= p.Hi
+}
+
+// Selectivity implements Predicate.
+func (p IntRange) Selectivity() float64 {
+	if p.Sel <= 0 || p.Sel > 1 {
+		return 0.5
+	}
+	return p.Sel
+}
+
+func (p IntRange) String() string {
+	return fmt.Sprintf("ints[%d] in [%d,%d]", p.Field, p.Lo, p.Hi)
+}
+
+// RefIsNil tests whether a reference field is the null OID.
+type RefIsNil struct {
+	Field int
+	Sel   float64
+}
+
+// Eval implements Predicate.
+func (p RefIsNil) Eval(o *object.Object) bool {
+	if p.Field < 0 || p.Field >= len(o.Refs) {
+		return true
+	}
+	return o.Refs[p.Field].IsNil()
+}
+
+// Selectivity implements Predicate.
+func (p RefIsNil) Selectivity() float64 {
+	if p.Sel <= 0 || p.Sel > 1 {
+		return 0.5
+	}
+	return p.Sel
+}
+
+func (p RefIsNil) String() string { return fmt.Sprintf("refs[%d] is nil", p.Field) }
+
+// And is a conjunction; selectivities multiply (independence
+// assumption, as in System R style estimation).
+type And struct{ Preds []Predicate }
+
+// Eval implements Predicate.
+func (p And) Eval(o *object.Object) bool {
+	for _, q := range p.Preds {
+		if !q.Eval(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// Selectivity implements Predicate.
+func (p And) Selectivity() float64 {
+	s := 1.0
+	for _, q := range p.Preds {
+		s *= q.Selectivity()
+	}
+	return s
+}
+
+func (p And) String() string { return join(p.Preds, " AND ") }
+
+// Or is a disjunction; selectivity via inclusion-exclusion under
+// independence.
+type Or struct{ Preds []Predicate }
+
+// Eval implements Predicate.
+func (p Or) Eval(o *object.Object) bool {
+	for _, q := range p.Preds {
+		if q.Eval(o) {
+			return true
+		}
+	}
+	return false
+}
+
+// Selectivity implements Predicate.
+func (p Or) Selectivity() float64 {
+	fail := 1.0
+	for _, q := range p.Preds {
+		fail *= 1 - q.Selectivity()
+	}
+	return 1 - fail
+}
+
+func (p Or) String() string { return join(p.Preds, " OR ") }
+
+// Not negates a predicate.
+type Not struct{ Pred Predicate }
+
+// Eval implements Predicate.
+func (p Not) Eval(o *object.Object) bool { return !p.Pred.Eval(o) }
+
+// Selectivity implements Predicate.
+func (p Not) Selectivity() float64 { return 1 - p.Pred.Selectivity() }
+
+func (p Not) String() string { return "NOT (" + p.Pred.String() + ")" }
+
+// True always passes; useful as a neutral element.
+type True struct{}
+
+// Eval implements Predicate.
+func (True) Eval(*object.Object) bool { return true }
+
+// Selectivity implements Predicate.
+func (True) Selectivity() float64 { return 1 }
+
+func (True) String() string { return "true" }
+
+// Func wraps an arbitrary Go function as a predicate, covering the
+// paper's "computations that are not algebraically expressible" (the
+// latitude/longitude distance example in Section 4).
+type Func struct {
+	Name string
+	Fn   func(o *object.Object) bool
+	Sel  float64
+}
+
+// Eval implements Predicate.
+func (p Func) Eval(o *object.Object) bool { return p.Fn(o) }
+
+// Selectivity implements Predicate.
+func (p Func) Selectivity() float64 {
+	if p.Sel <= 0 || p.Sel > 1 {
+		return 0.5
+	}
+	return p.Sel
+}
+
+func (p Func) String() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return "func"
+}
+
+func join(preds []Predicate, sep string) string {
+	out := "("
+	for i, q := range preds {
+		if i > 0 {
+			out += sep
+		}
+		out += q.String()
+	}
+	return out + ")"
+}

@@ -1,0 +1,158 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"revelation/internal/object"
+)
+
+func obj(ints ...int32) *object.Object {
+	return &object.Object{OID: 1, Ints: ints}
+}
+
+func TestIntCmpOps(t *testing.T) {
+	o := obj(10)
+	cases := []struct {
+		op   CmpOp
+		v    int32
+		want bool
+	}{
+		{EQ, 10, true}, {EQ, 9, false},
+		{NE, 9, true}, {NE, 10, false},
+		{LT, 11, true}, {LT, 10, false},
+		{LE, 10, true}, {LE, 9, false},
+		{GT, 9, true}, {GT, 10, false},
+		{GE, 10, true}, {GE, 11, false},
+	}
+	for _, c := range cases {
+		p := IntCmp{Field: 0, Op: c.op, Value: c.v}
+		if got := p.Eval(o); got != c.want {
+			t.Errorf("10 %v %d = %v, want %v", c.op, c.v, got, c.want)
+		}
+	}
+}
+
+func TestIntCmpMissingField(t *testing.T) {
+	p := IntCmp{Field: 3, Op: EQ, Value: 0}
+	if p.Eval(obj(1)) {
+		t.Error("comparison against missing field passed")
+	}
+	if (IntCmp{Field: -1, Op: EQ}).Eval(obj(1)) {
+		t.Error("negative field passed")
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	p := IntRange{Field: 0, Lo: 5, Hi: 10}
+	for v, want := range map[int32]bool{4: false, 5: true, 7: true, 10: true, 11: false} {
+		if got := p.Eval(obj(v)); got != want {
+			t.Errorf("range eval(%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestRefIsNil(t *testing.T) {
+	o := &object.Object{OID: 1, Refs: []object.OID{0, 5}}
+	if !(RefIsNil{Field: 0}).Eval(o) {
+		t.Error("nil ref not detected")
+	}
+	if (RefIsNil{Field: 1}).Eval(o) {
+		t.Error("non-nil ref reported nil")
+	}
+	if !(RefIsNil{Field: 9}).Eval(o) {
+		t.Error("missing ref field should read as nil")
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	lt := IntCmp{Field: 0, Op: LT, Value: 10, Sel: 0.4}
+	gt := IntCmp{Field: 0, Op: GT, Value: 5, Sel: 0.3}
+	and := And{Preds: []Predicate{lt, gt}}
+	or := Or{Preds: []Predicate{lt, gt}}
+	not := Not{Pred: lt}
+
+	if !and.Eval(obj(7)) || and.Eval(obj(3)) || and.Eval(obj(12)) {
+		t.Error("And misbehaves")
+	}
+	if !or.Eval(obj(3)) || !or.Eval(obj(12)) || or.Eval(obj(-100)) == true && false {
+		t.Error("Or misbehaves")
+	}
+	if or.Eval(obj(3)) != true {
+		t.Error("Or(3)")
+	}
+	if not.Eval(obj(3)) {
+		t.Error("Not(3)")
+	}
+	if !not.Eval(obj(12)) {
+		t.Error("Not(12)")
+	}
+
+	if got := and.Selectivity(); math.Abs(got-0.12) > 1e-9 {
+		t.Errorf("And selectivity = %v, want 0.12", got)
+	}
+	if got := or.Selectivity(); math.Abs(got-(1-0.6*0.7)) > 1e-9 {
+		t.Errorf("Or selectivity = %v", got)
+	}
+	if got := not.Selectivity(); math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("Not selectivity = %v", got)
+	}
+}
+
+func TestDefaultSelectivity(t *testing.T) {
+	for _, p := range []Predicate{
+		IntCmp{}, IntRange{}, RefIsNil{}, Func{Fn: func(*object.Object) bool { return true }},
+		IntCmp{Sel: 2.0}, // out of range -> default
+	} {
+		if got := p.Selectivity(); got != 0.5 {
+			t.Errorf("%s default selectivity = %v, want 0.5", p, got)
+		}
+	}
+	if (True{}).Selectivity() != 1 {
+		t.Error("True selectivity != 1")
+	}
+}
+
+func TestFuncPredicate(t *testing.T) {
+	p := Func{
+		Name: "close-to",
+		Fn:   func(o *object.Object) bool { return o.Ints[0]*o.Ints[0] < 100 },
+		Sel:  0.2,
+	}
+	if !p.Eval(obj(3)) || p.Eval(obj(30)) {
+		t.Error("Func eval wrong")
+	}
+	if p.String() != "close-to" {
+		t.Errorf("String = %q", p.String())
+	}
+	if p.Selectivity() != 0.2 {
+		t.Errorf("Selectivity = %v", p.Selectivity())
+	}
+}
+
+func TestStrings(t *testing.T) {
+	p := And{Preds: []Predicate{
+		IntCmp{Field: 0, Op: GE, Value: 3},
+		Not{Pred: True{}},
+	}}
+	want := "(ints[0] >= 3 AND NOT (true))"
+	if p.String() != want {
+		t.Errorf("String = %q, want %q", p.String(), want)
+	}
+}
+
+// Property: De Morgan — Not(And(a,b)) == Or(Not a, Not b) on all inputs.
+func TestDeMorganProperty(t *testing.T) {
+	f := func(v int32, a, b int32) bool {
+		pa := Predicate(IntCmp{Field: 0, Op: LT, Value: a})
+		pb := Predicate(IntCmp{Field: 0, Op: GT, Value: b})
+		o := obj(v)
+		lhs := Not{Pred: And{Preds: []Predicate{pa, pb}}}.Eval(o)
+		rhs := Or{Preds: []Predicate{Not{Pred: pa}, Not{Pred: pb}}}.Eval(o)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

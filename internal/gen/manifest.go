@@ -1,0 +1,173 @@
+package gen
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"revelation/internal/buffer"
+	"revelation/internal/disk"
+	"revelation/internal/heap"
+	"revelation/internal/object"
+	"revelation/internal/page"
+)
+
+// Manifest is the serializable description of a generated database:
+// everything needed to reopen a file-backed device as a working store
+// (the device file holds the pages; the manifest holds the catalog,
+// the OID map, and the experiment parameters).
+type Manifest struct {
+	// Parameters echoes the generation config (device omitted).
+	NumComplexObjects int
+	Levels, Fanout    int
+	Clustering        Clustering
+	Sharing           float64
+	Seed              int64
+	PageSize          int
+	RegionPages       int
+
+	FileFirst  uint32
+	FileNPages int
+
+	Roots   []uint64
+	Entries []ManifestEntry
+	RootOf  []RootPair
+}
+
+// ManifestEntry records one object's physical address.
+type ManifestEntry struct {
+	OID  uint64
+	Page uint32
+	Slot uint16
+}
+
+// RootPair records component → complex-object-root ownership.
+type RootPair struct {
+	OID, Root uint64
+}
+
+// SaveManifest writes the database's manifest with encoding/gob.
+func (db *Database) SaveManifest(path string) error {
+	m := Manifest{
+		NumComplexObjects: db.Config.NumComplexObjects,
+		Levels:            db.Config.Levels,
+		Fanout:            db.Config.Fanout,
+		Clustering:        db.Config.Clustering,
+		Sharing:           db.Config.Sharing,
+		Seed:              db.Config.Seed,
+		PageSize:          db.Config.PageSize,
+		RegionPages:       db.Config.RegionPages,
+		FileFirst:         uint32(db.Store.File.First()),
+		FileNPages:        db.Store.File.NumPages(),
+	}
+	for _, r := range db.Roots {
+		m.Roots = append(m.Roots, uint64(r))
+	}
+	// Walk the file to collect the OID map in physical order.
+	err := db.Store.File.Scan(func(rid heap.RID, rec []byte) bool {
+		oid, err := object.PeekOID(rec)
+		if err != nil {
+			return true
+		}
+		m.Entries = append(m.Entries, ManifestEntry{
+			OID:  uint64(oid),
+			Page: uint32(rid.Page),
+			Slot: uint16(rid.Slot),
+		})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for oid, root := range db.RootOf {
+		m.RootOf = append(m.RootOf, RootPair{OID: uint64(oid), Root: uint64(root)})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(&m); err != nil {
+		return fmt.Errorf("gen: encode manifest: %w", err)
+	}
+	return nil
+}
+
+// OpenDatabase reopens a database previously generated onto a
+// file-backed device and described by a manifest.
+func OpenDatabase(devicePath, manifestPath string, bufferPages int) (*Database, error) {
+	mf, err := os.Open(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	var m Manifest
+	if err := gob.NewDecoder(mf).Decode(&m); err != nil {
+		return nil, fmt.Errorf("gen: decode manifest: %w", err)
+	}
+
+	dev, err := disk.OpenFile(devicePath, m.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	if bufferPages <= 0 {
+		bufferPages = m.FileNPages + 128
+	}
+	pool := buffer.New(dev, bufferPages, buffer.LRU)
+	file := heap.Open(pool, disk.PageID(m.FileFirst), m.FileNPages)
+
+	cfg := Config{
+		NumComplexObjects: m.NumComplexObjects,
+		Levels:            m.Levels,
+		Fanout:            m.Fanout,
+		Clustering:        m.Clustering,
+		Sharing:           m.Sharing,
+		Seed:              m.Seed,
+		PageSize:          m.PageSize,
+		RegionPages:       m.RegionPages,
+	}.withDefaults()
+
+	// Rebuild the catalog exactly as Build defines it.
+	positions := positionCount(cfg.Levels, cfg.Fanout)
+	cat := object.NewCatalog()
+	classes := make([]*object.Class, positions)
+	for p := 0; p < positions; p++ {
+		classes[p] = cat.MustDefine(&object.Class{
+			Name:     fmt.Sprintf("T%d", p),
+			NumInts:  4,
+			NumRefs:  8,
+			IntNames: []string{"seq", "rand", "tree", "pos"},
+		})
+	}
+	loc := object.NewMapLocator()
+	for _, e := range m.Entries {
+		rid := heap.RID{Page: disk.PageID(e.Page), Slot: page.SlotID(e.Slot)}
+		if err := loc.Register(object.OID(e.OID), rid); err != nil {
+			return nil, err
+		}
+	}
+	store := object.NewStore(file, loc, cat)
+
+	leafStart := firstLeafPosition(cfg.Levels, cfg.Fanout)
+	tmpl := buildTemplate(cfg, classes, leafStart)
+
+	roots := make([]object.OID, len(m.Roots))
+	for i, r := range m.Roots {
+		roots[i] = object.OID(r)
+	}
+	rootOf := make(map[object.OID]object.OID, len(m.RootOf))
+	for _, pr := range m.RootOf {
+		rootOf[object.OID(pr.OID)] = object.OID(pr.Root)
+	}
+	return &Database{
+		Config:         cfg,
+		Device:         dev,
+		Pool:           pool,
+		Store:          store,
+		Template:       tmpl,
+		Roots:          roots,
+		RootOf:         rootOf,
+		NodesPerObject: positions,
+		Positions:      classes,
+	}, nil
+}

@@ -1,0 +1,37 @@
+package object
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hardens the record decoder against arbitrary bytes: it
+// must never panic, and any record it accepts must re-encode to an
+// equivalent prefix of the input's logical content.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: valid encodings and truncations.
+	good, _ := Encode(&Object{OID: 7, Class: 3, Ints: []int32{1, -2}, Refs: []OID{9, 0}})
+	f.Add(good)
+	f.Add(good[:len(good)-3])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted records must round-trip.
+		re, err := Encode(o)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.OID != o.OID || back.Class != o.Class ||
+			len(back.Ints) != len(o.Ints) || len(back.Refs) != len(o.Refs) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", o, back)
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package object
+
+import (
+	"errors"
+	"fmt"
+
+	"revelation/internal/btree"
+	"revelation/internal/disk"
+	"revelation/internal/heap"
+	"revelation/internal/page"
+)
+
+// Locator is the OID → physical-location mapping the paper assumes
+// ("Only that there is a mapping from object reference to physical
+// location", footnote 1). The assembly operator's elevator scheduler
+// consults it to learn where a reference lives before fetching it.
+type Locator interface {
+	// Lookup resolves an OID to the RID of its record.
+	Lookup(oid OID) (heap.RID, bool, error)
+	// Register records the location of an object.
+	Register(oid OID, rid heap.RID) error
+	// Len reports the number of registered objects.
+	Len() (int, error)
+}
+
+// ErrNilOID rejects registering or resolving the null reference.
+var ErrNilOID = errors.New("object: nil OID")
+
+// MapLocator keeps the mapping in memory. It models a resident OID
+// index (the usual choice in the paper's experiments, where index
+// traffic is excluded from the seek metric).
+type MapLocator struct {
+	m map[OID]heap.RID
+}
+
+// NewMapLocator returns an empty in-memory locator.
+func NewMapLocator() *MapLocator { return &MapLocator{m: make(map[OID]heap.RID)} }
+
+// Lookup implements Locator.
+func (l *MapLocator) Lookup(oid OID) (heap.RID, bool, error) {
+	if oid.IsNil() {
+		return heap.NilRID, false, ErrNilOID
+	}
+	rid, ok := l.m[oid]
+	return rid, ok, nil
+}
+
+// Register implements Locator.
+func (l *MapLocator) Register(oid OID, rid heap.RID) error {
+	if oid.IsNil() {
+		return ErrNilOID
+	}
+	l.m[oid] = rid
+	return nil
+}
+
+// Len implements Locator.
+func (l *MapLocator) Len() (int, error) { return len(l.m), nil }
+
+// BTreeLocator persists the mapping in a B+-tree, so lookups cost real
+// page accesses. RIDs pack into the tree's uint64 values as
+// (page << 16) | slot.
+type BTreeLocator struct {
+	tree *btree.Tree
+}
+
+// NewBTreeLocator wraps a B+-tree as a locator.
+func NewBTreeLocator(tree *btree.Tree) *BTreeLocator { return &BTreeLocator{tree: tree} }
+
+// Tree exposes the underlying B+-tree (for persistence of its root).
+func (l *BTreeLocator) Tree() *btree.Tree { return l.tree }
+
+// PackRID encodes a RID into a uint64 B-tree value.
+func PackRID(rid heap.RID) uint64 {
+	return uint64(rid.Page)<<16 | uint64(rid.Slot)
+}
+
+// UnpackRID decodes a PackRID value.
+func UnpackRID(v uint64) heap.RID {
+	return heap.RID{Page: disk.PageID(v >> 16), Slot: page.SlotID(v & 0xFFFF)}
+}
+
+// Lookup implements Locator.
+func (l *BTreeLocator) Lookup(oid OID) (heap.RID, bool, error) {
+	if oid.IsNil() {
+		return heap.NilRID, false, ErrNilOID
+	}
+	v, ok, err := l.tree.Get(uint64(oid))
+	if err != nil || !ok {
+		return heap.NilRID, false, err
+	}
+	return UnpackRID(v), true, nil
+}
+
+// Register implements Locator.
+func (l *BTreeLocator) Register(oid OID, rid heap.RID) error {
+	if oid.IsNil() {
+		return ErrNilOID
+	}
+	return l.tree.Put(uint64(oid), PackRID(rid))
+}
+
+// Len implements Locator.
+func (l *BTreeLocator) Len() (int, error) { return l.tree.Len() }
+
+// Store couples a heap file, a locator, and a catalog into the
+// object-storage facade the upper layers use: put an object somewhere,
+// get it back by OID.
+type Store struct {
+	File    *heap.File
+	Locator Locator
+	Catalog *Catalog
+}
+
+// NewStore assembles a store from its parts.
+func NewStore(f *heap.File, loc Locator, cat *Catalog) *Store {
+	return &Store{File: f, Locator: loc, Catalog: cat}
+}
+
+// Put encodes the object, appends it to the file, and registers its
+// location.
+func (s *Store) Put(o *Object) (heap.RID, error) {
+	return s.put(o, -1)
+}
+
+// PutAt is Put with explicit page placement (extent-relative index);
+// the clustering policies in the generator are built on it.
+func (s *Store) PutAt(o *Object, pageIdx int) (heap.RID, error) {
+	return s.put(o, pageIdx)
+}
+
+func (s *Store) put(o *Object, pageIdx int) (heap.RID, error) {
+	if o.OID.IsNil() {
+		return heap.NilRID, ErrNilOID
+	}
+	rec, err := Encode(o)
+	if err != nil {
+		return heap.NilRID, err
+	}
+	var rid heap.RID
+	if pageIdx >= 0 {
+		rid, err = s.File.InsertAt(pageIdx, rec)
+	} else {
+		rid, err = s.File.Insert(rec)
+	}
+	if err != nil {
+		return heap.NilRID, err
+	}
+	if err := s.Locator.Register(o.OID, rid); err != nil {
+		return heap.NilRID, err
+	}
+	return rid, nil
+}
+
+// Get loads the object with the given OID.
+func (s *Store) Get(oid OID) (*Object, error) {
+	rid, ok, err := s.Locator.Lookup(oid)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("object: %v not found", oid)
+	}
+	return s.GetAt(rid)
+}
+
+// GetAt loads the object stored at rid.
+func (s *Store) GetAt(rid heap.RID) (*Object, error) {
+	var o *Object
+	err := s.File.Get(rid, func(rec []byte) error {
+		var derr error
+		o, derr = Decode(rec)
+		return derr
+	})
+	return o, err
+}
+
+// WhereIs resolves an OID to its RID, with a found flag.
+func (s *Store) WhereIs(oid OID) (heap.RID, bool, error) { return s.Locator.Lookup(oid) }

@@ -1,0 +1,61 @@
+package page
+
+import "testing"
+
+func BenchmarkInsert(b *testing.B) {
+	buf := make([]byte, 1024)
+	p := Wrap(buf)
+	p.Init(0)
+	rec := make([]byte, 96)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Insert(rec); err != nil {
+			p.Init(0)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	p := Wrap(make([]byte, 1024))
+	p.Init(0)
+	var slots []SlotID
+	for {
+		s, err := p.Insert(make([]byte, 96))
+		if err != nil {
+			break
+		}
+		slots = append(slots, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Get(slots[i%len(slots)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertDeleteChurn(b *testing.B) {
+	p := Wrap(make([]byte, 1024))
+	p.Init(0)
+	rec := make([]byte, 60)
+	var slots []SlotID
+	for {
+		s, err := p.Insert(rec)
+		if err != nil {
+			break
+		}
+		slots = append(slots, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := slots[i%len(slots)]
+		if err := p.Delete(s); err != nil {
+			b.Fatal(err)
+		}
+		ns, err := p.Insert(rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slots[i%len(slots)] = ns
+	}
+}

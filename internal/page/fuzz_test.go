@@ -1,0 +1,80 @@
+package page
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzPageOps drives a slotted page with an arbitrary operation tape:
+// whatever the sequence, the page must not panic and every live record
+// must read back exactly as written.
+func FuzzPageOps(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 0, 0, 30, 2, 1})
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0, 100}, 30))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		p := Wrap(make([]byte, 512))
+		p.Init(1)
+		live := map[SlotID]byte{}
+		var order []SlotID
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i], tape[i+1]
+			switch op % 3 {
+			case 0: // insert a record of arg%120 bytes filled with arg
+				rec := bytes.Repeat([]byte{arg}, int(arg)%120)
+				s, err := p.Insert(rec)
+				if err != nil {
+					continue
+				}
+				live[s] = arg
+				order = append(order, s)
+			case 1: // delete an existing slot (if any)
+				if len(order) == 0 {
+					continue
+				}
+				s := order[int(arg)%len(order)]
+				if _, ok := live[s]; !ok {
+					continue
+				}
+				if err := p.Delete(s); err != nil {
+					t.Fatalf("delete live slot %d: %v", s, err)
+				}
+				delete(live, s)
+			case 2: // update an existing slot
+				if len(order) == 0 {
+					continue
+				}
+				s := order[int(arg)%len(order)]
+				if _, ok := live[s]; !ok {
+					continue
+				}
+				rec := bytes.Repeat([]byte{arg ^ 0x5A}, int(arg)%90)
+				if err := p.Update(s, rec); err != nil {
+					if errors.Is(err, ErrPageFull) {
+						continue
+					}
+					t.Fatalf("update: %v", err)
+				}
+				live[s] = arg ^ 0x5A
+			}
+		}
+		// Validate every live record.
+		n := 0
+		for s, fill := range live {
+			rec, err := p.Get(s)
+			if err != nil {
+				t.Fatalf("get live slot %d: %v", s, err)
+			}
+			for _, b := range rec {
+				if b != fill {
+					t.Fatalf("slot %d corrupted: %d != %d", s, b, fill)
+				}
+			}
+			n++
+		}
+		if p.LiveRecords() != n {
+			t.Fatalf("LiveRecords = %d, want %d", p.LiveRecords(), n)
+		}
+	})
+}

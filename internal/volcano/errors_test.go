@@ -1,0 +1,152 @@
+package volcano
+
+import (
+	"errors"
+	"testing"
+)
+
+// failing is an iterator that errs at a chosen point.
+type failing struct {
+	failOpen  bool
+	failAt    int // Next index to fail at (-1 never)
+	failClose bool
+	n         int
+	items     []Item
+}
+
+var errInjected = errors.New("injected")
+
+func (f *failing) Open() error {
+	if f.failOpen {
+		return errInjected
+	}
+	return nil
+}
+
+func (f *failing) Next() (Item, error) {
+	if f.failAt >= 0 && f.n == f.failAt {
+		return nil, errInjected
+	}
+	if f.n >= len(f.items) {
+		return nil, Done
+	}
+	item := f.items[f.n]
+	f.n++
+	return item, nil
+}
+
+func (f *failing) Close() error {
+	if f.failClose {
+		return errInjected
+	}
+	return nil
+}
+
+func items(n int) []Item {
+	out := make([]Item, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestOpenErrorsPropagate(t *testing.T) {
+	cases := map[string]Iterator{
+		"filter":   NewFilter(&failing{failOpen: true}, func(Item) (bool, error) { return true, nil }),
+		"project":  NewProject(&failing{failOpen: true}, func(it Item) (Item, error) { return it, nil }),
+		"limit":    NewLimit(&failing{failOpen: true}, 3),
+		"sort":     NewSort(&failing{failOpen: true}, func(a, b Item) bool { return false }),
+		"material": NewMaterialize(&failing{failOpen: true}),
+		"hashjoin-right": NewHashJoin(NewSlice(items(2)), &failing{failOpen: true},
+			func(it Item) (any, error) { return it, nil },
+			func(it Item) (any, error) { return it, nil }),
+		"hashjoin-left": NewHashJoin(&failing{failOpen: true, failAt: -1}, NewSlice(items(2)),
+			func(it Item) (any, error) { return it, nil },
+			func(it Item) (any, error) { return it, nil }),
+		"nested": NewNestedLoops(&failing{failOpen: true}, NewSlice(items(2)),
+			func(l, r Item) (bool, error) { return true, nil }),
+		"aggregate": NewHashAggregate(&failing{failOpen: true},
+			func(it Item) (any, error) { return it, nil }, CountAgg()),
+		"onetoone": NewOneToOneMatch(&failing{failOpen: true}, NewSlice(items(1)),
+			func(l, r Item) (Item, error) { return l, nil }),
+	}
+	for name, it := range cases {
+		if err := it.Open(); !errors.Is(err, errInjected) {
+			t.Errorf("%s: Open err = %v, want injected", name, err)
+		}
+	}
+}
+
+func TestMidStreamErrorsPropagate(t *testing.T) {
+	mk := func() *failing { return &failing{failAt: 2, items: items(10)} }
+	cases := map[string]Iterator{
+		"filter":  NewFilter(mk(), func(Item) (bool, error) { return true, nil }),
+		"project": NewProject(mk(), func(it Item) (Item, error) { return it, nil }),
+		"limit":   NewLimit(mk(), 8),
+	}
+	for name, it := range cases {
+		if _, err := Drain(it); !errors.Is(err, errInjected) {
+			t.Errorf("%s: drain err = %v, want injected", name, err)
+		}
+	}
+	// Blocking operators hit it at Open.
+	blocking := map[string]Iterator{
+		"sort": NewSort(mk(), func(a, b Item) bool { return false }),
+		"aggregate": NewHashAggregate(mk(),
+			func(it Item) (any, error) { return it, nil }, CountAgg()),
+		"materialize": NewMaterialize(mk()),
+	}
+	for name, it := range blocking {
+		if err := it.Open(); !errors.Is(err, errInjected) {
+			t.Errorf("%s: Open err = %v, want injected", name, err)
+		}
+	}
+}
+
+func TestKeyFuncErrorsPropagate(t *testing.T) {
+	j := NewHashJoin(NewSlice(items(3)), NewSlice(items(3)),
+		func(Item) (any, error) { return nil, errInjected },
+		func(it Item) (any, error) { return it, nil })
+	if _, err := Drain(j); !errors.Is(err, errInjected) {
+		t.Errorf("probe key err = %v", err)
+	}
+	j2 := NewHashJoin(NewSlice(items(3)), NewSlice(items(3)),
+		func(it Item) (any, error) { return it, nil },
+		func(Item) (any, error) { return nil, errInjected })
+	if err := j2.Open(); !errors.Is(err, errInjected) {
+		t.Errorf("build key err = %v", err)
+	}
+	agg := NewHashAggregate(NewSlice(items(3)),
+		func(Item) (any, error) { return nil, errInjected }, CountAgg())
+	if err := agg.Open(); !errors.Is(err, errInjected) {
+		t.Errorf("agg key err = %v", err)
+	}
+}
+
+func TestAggregateStepErrorPropagates(t *testing.T) {
+	agg := NewHashAggregate(NewSlice(items(3)),
+		func(it Item) (any, error) { return 0, nil },
+		SumIntAgg("s", func(Item) (int64, error) { return 0, errInjected }))
+	if err := agg.Open(); !errors.Is(err, errInjected) {
+		t.Errorf("step err = %v", err)
+	}
+}
+
+func TestExternalSortInputError(t *testing.T) {
+	// Input fails mid-stream during run generation.
+	es := NewExternalSort(&failing{failAt: 5, items: items(100)},
+		func(a, b Item) bool { return a.(int) < b.(int) },
+		intCodec{}, nil, 10)
+	// Pool is nil but the error fires before any spill of the second
+	// run; use a batch size that spills only after the failure point.
+	if err := es.Open(); !errors.Is(err, errInjected) {
+		t.Errorf("external sort input err = %v", err)
+	}
+}
+
+func TestPointerJoinTypeError(t *testing.T) {
+	j := NewPointerJoin(NewSlice(items(1)), nil, 0, NaivePointer)
+	if _, err := Drain(j); err == nil {
+		t.Error("non-object input accepted")
+	}
+}

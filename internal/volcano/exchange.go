@@ -1,0 +1,144 @@
+package volcano
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Exchange is Volcano's parallelism operator: it encapsulates
+// partitioned execution behind the ordinary iterator interface, so any
+// plan fragment can be parallelized "without changing its code"
+// (Graefe, SIGMOD 1990; cited as [31] in the paper). NewExchange takes
+// a fragment factory; Open launches one producer goroutine per
+// partition, each draining its own fragment instance into a shared
+// queue that Next consumes.
+//
+// Output order across partitions is nondeterministic, as with any
+// exchange.
+type Exchange struct {
+	Degree  int
+	Factory func(part int) (Iterator, error)
+	// QueueLen bounds the flow-control queue (default 64).
+	QueueLen int
+
+	ch     chan exchItem
+	cancel chan struct{}
+	wg     sync.WaitGroup
+	open   bool
+	closed bool
+}
+
+type exchItem struct {
+	item Item
+	err  error
+}
+
+// NewExchange builds an exchange of the given degree over the fragment
+// factory.
+func NewExchange(degree int, factory func(part int) (Iterator, error)) *Exchange {
+	if degree < 1 {
+		degree = 1
+	}
+	return &Exchange{Degree: degree, Factory: factory}
+}
+
+// Open implements Iterator: starts the producer goroutines.
+func (e *Exchange) Open() error {
+	qlen := e.QueueLen
+	if qlen <= 0 {
+		qlen = 64
+	}
+	e.ch = make(chan exchItem, qlen)
+	e.cancel = make(chan struct{})
+	e.closed = false
+	for part := 0; part < e.Degree; part++ {
+		e.wg.Add(1)
+		go e.produce(part)
+	}
+	go func() {
+		e.wg.Wait()
+		close(e.ch)
+	}()
+	e.open = true
+	return nil
+}
+
+func (e *Exchange) produce(part int) {
+	defer e.wg.Done()
+	it, err := e.Factory(part)
+	if err != nil {
+		e.send(exchItem{err: fmt.Errorf("volcano: exchange partition %d: %w", part, err)})
+		return
+	}
+	if err := it.Open(); err != nil {
+		e.send(exchItem{err: fmt.Errorf("volcano: exchange partition %d open: %w", part, err)})
+		return
+	}
+	defer it.Close()
+	for {
+		item, err := it.Next()
+		if err == Done {
+			return
+		}
+		if err != nil {
+			e.send(exchItem{err: err})
+			return
+		}
+		if !e.send(exchItem{item: item}) {
+			return
+		}
+	}
+}
+
+// send delivers to the consumer unless the exchange was cancelled.
+func (e *Exchange) send(x exchItem) bool {
+	select {
+	case e.ch <- x:
+		return true
+	case <-e.cancel:
+		return false
+	}
+}
+
+// Next implements Iterator.
+func (e *Exchange) Next() (Item, error) {
+	if !e.open {
+		return nil, ErrNotOpen
+	}
+	x, ok := <-e.ch
+	if !ok {
+		return nil, Done
+	}
+	if x.err != nil {
+		return nil, x.err
+	}
+	return x.item, nil
+}
+
+// Close implements Iterator: cancels producers and waits for them.
+func (e *Exchange) Close() error {
+	if !e.open || e.closed {
+		e.open = false
+		return nil
+	}
+	e.closed = true
+	e.open = false
+	close(e.cancel)
+	// Drain until producers exit so none block on send.
+	for range e.ch {
+	}
+	return nil
+}
+
+// PartitionSlice splits items round-robin into n buckets; the standard
+// way to feed an Exchange's fragments.
+func PartitionSlice(items []Item, n int) [][]Item {
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]Item, n)
+	for i, item := range items {
+		out[i%n] = append(out[i%n], item)
+	}
+	return out
+}

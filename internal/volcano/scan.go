@@ -1,0 +1,152 @@
+package volcano
+
+import (
+	"errors"
+
+	"revelation/internal/expr"
+	"revelation/internal/heap"
+	"revelation/internal/object"
+)
+
+// HeapScan reads a heap file in physical order, decoding each record
+// into a *object.Object. An optional predicate filters during the scan
+// (selection pushed into the scan, as in any relational engine).
+type HeapScan struct {
+	File *heap.File
+	Pred expr.Predicate // optional
+
+	// buffered page worth of objects; refilled page by page so the
+	// iterator does not hold pins across Next calls.
+	pending []*object.Object
+	nextIdx int // extent-relative page index to read next
+	open    bool
+}
+
+// NewHeapScan builds a scan over f with optional predicate pred.
+func NewHeapScan(f *heap.File, pred expr.Predicate) *HeapScan {
+	return &HeapScan{File: f, Pred: pred}
+}
+
+// Open implements Iterator.
+func (s *HeapScan) Open() error {
+	s.pending = nil
+	s.nextIdx = 0
+	s.open = true
+	return nil
+}
+
+// Next implements Iterator.
+func (s *HeapScan) Next() (Item, error) {
+	if !s.open {
+		return nil, ErrNotOpen
+	}
+	for {
+		if len(s.pending) > 0 {
+			o := s.pending[0]
+			s.pending = s.pending[1:]
+			return o, nil
+		}
+		if s.nextIdx >= s.File.NumPages() {
+			return nil, Done
+		}
+		if err := s.fillFromPage(s.nextIdx); err != nil {
+			return nil, err
+		}
+		s.nextIdx++
+	}
+}
+
+func (s *HeapScan) fillFromPage(idx int) error {
+	var decodeErr error
+	err := s.File.ScanPage(idx, func(rid heap.RID, rec []byte) bool {
+		o, derr := object.Decode(rec)
+		if derr != nil {
+			decodeErr = derr
+			return false
+		}
+		if s.Pred != nil && !s.Pred.Eval(o) {
+			return true
+		}
+		s.pending = append(s.pending, o)
+		return true
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return err
+}
+
+// Close implements Iterator.
+func (s *HeapScan) Close() error {
+	s.open = false
+	s.pending = nil
+	return nil
+}
+
+// IndexScan walks a key range of the OID index in key order, fetching
+// each object through the store — the classical unclustered index scan
+// whose seek behaviour motivated the assembly operator's design
+// (Section 2 discusses the TID-scan/sorted-pointer family).
+type IndexScan struct {
+	Store    *object.Store
+	From, To object.OID
+	Pred     expr.Predicate // optional
+
+	oids []object.OID
+	pos  int
+	open bool
+}
+
+// NewIndexScan builds an index scan over [from, to].
+func NewIndexScan(store *object.Store, from, to object.OID, pred expr.Predicate) *IndexScan {
+	return &IndexScan{Store: store, From: from, To: to, Pred: pred}
+}
+
+// Open implements Iterator. It materializes the qualifying OID list
+// (cheap: OIDs only), deferring object fetches to Next.
+func (s *IndexScan) Open() error {
+	s.oids = s.oids[:0]
+	s.pos = 0
+	bl, ok := s.Store.Locator.(*object.BTreeLocator)
+	if !ok {
+		// Map locator: no ordered structure; synthesize the range by
+		// probing is impossible, so reject.
+		return errors.New("volcano: IndexScan requires a B-tree locator")
+	}
+	err := bl.Tree().Scan(uint64(s.From), uint64(s.To), func(k, v uint64) bool {
+		s.oids = append(s.oids, object.OID(k))
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	s.open = true
+	return nil
+}
+
+// Next implements Iterator.
+func (s *IndexScan) Next() (Item, error) {
+	if !s.open {
+		return nil, ErrNotOpen
+	}
+	for s.pos < len(s.oids) {
+		oid := s.oids[s.pos]
+		s.pos++
+		o, err := s.Store.Get(oid)
+		if err != nil {
+			return nil, err
+		}
+		if s.Pred != nil && !s.Pred.Eval(o) {
+			continue
+		}
+		return o, nil
+	}
+	return nil, Done
+}
+
+// Close implements Iterator.
+func (s *IndexScan) Close() error {
+	s.open = false
+	s.oids = nil
+	return nil
+}

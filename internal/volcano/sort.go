@@ -1,0 +1,269 @@
+package volcano
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"revelation/internal/buffer"
+	hp "revelation/internal/heap"
+	"revelation/internal/page"
+)
+
+// Sort is the in-memory sort operator: it drains its input at Open,
+// orders the items with Less, and replays them. Like the paper's sort
+// analogy for assembly, it enforces a physical property (order) that is
+// not logically apparent.
+type Sort struct {
+	Input Iterator
+	Less  func(a, b Item) bool
+
+	items []Item
+	pos   int
+	open  bool
+}
+
+// NewSort builds an in-memory sort.
+func NewSort(in Iterator, less func(a, b Item) bool) *Sort {
+	return &Sort{Input: in, Less: less}
+}
+
+// Open implements Iterator.
+func (s *Sort) Open() error {
+	items, err := Drain(s.Input)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(items, func(i, j int) bool { return s.Less(items[i], items[j]) })
+	s.items = items
+	s.pos = 0
+	s.open = true
+	return nil
+}
+
+// Next implements Iterator.
+func (s *Sort) Next() (Item, error) {
+	if !s.open {
+		return nil, ErrNotOpen
+	}
+	if s.pos >= len(s.items) {
+		return nil, Done
+	}
+	item := s.items[s.pos]
+	s.pos++
+	return item, nil
+}
+
+// Close implements Iterator.
+func (s *Sort) Close() error {
+	s.open = false
+	s.items = nil
+	return nil
+}
+
+// Codec serializes items so the external sort can spill them to runs
+// on a device.
+type Codec interface {
+	Encode(Item) ([]byte, error)
+	Decode([]byte) (Item, error)
+}
+
+// ExternalSort is Volcano's external merge sort: the input is cut into
+// sorted runs of at most RunSize items, each run spills to a heap file
+// on Pool's device, and Next merges the runs with a k-way heap. Memory
+// use is O(RunSize + number of runs), independent of input size.
+type ExternalSort struct {
+	Input   Iterator
+	Less    func(a, b Item) bool
+	Codec   Codec
+	Pool    *buffer.Pool
+	RunSize int
+
+	runs  []*runReader
+	merge *mergeHeap
+	open  bool
+}
+
+// NewExternalSort builds an external sort spilling through pool.
+func NewExternalSort(in Iterator, less func(a, b Item) bool, codec Codec, pool *buffer.Pool, runSize int) *ExternalSort {
+	if runSize < 1 {
+		runSize = 1
+	}
+	return &ExternalSort{Input: in, Less: less, Codec: codec, Pool: pool, RunSize: runSize}
+}
+
+// Open implements Iterator: run generation phase.
+func (s *ExternalSort) Open() error {
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	defer s.Input.Close()
+	s.runs = nil
+	batch := make([]Item, 0, s.RunSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		sort.SliceStable(batch, func(i, j int) bool { return s.Less(batch[i], batch[j]) })
+		r, err := s.writeRun(batch)
+		if err != nil {
+			return err
+		}
+		s.runs = append(s.runs, r)
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		item, err := s.Input.Next()
+		if errors.Is(err, Done) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		batch = append(batch, item)
+		if len(batch) >= s.RunSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	// Prime the merge heap.
+	s.merge = &mergeHeap{less: s.Less}
+	for _, r := range s.runs {
+		item, ok, err := r.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Push(s.merge, runHead{item: item, run: r})
+		}
+	}
+	s.open = true
+	return nil
+}
+
+// writeRun spills one sorted batch into a fresh heap file extent.
+func (s *ExternalSort) writeRun(batch []Item) (*runReader, error) {
+	encoded := make([][]byte, len(batch))
+	usable := s.Pool.Device().PageSize() - page.HeaderSize
+	pages, free := 1, usable
+	for i, item := range batch {
+		rec, err := s.Codec.Encode(item)
+		if err != nil {
+			return nil, err
+		}
+		if len(rec) > page.MaxRecordSize(s.Pool.Device().PageSize()) {
+			return nil, fmt.Errorf("volcano: external sort record of %d bytes exceeds page capacity", len(rec))
+		}
+		encoded[i] = rec
+		// Exact sequential-packing account, mirroring Insert's
+		// first-fit-forward behaviour.
+		need := len(rec) + page.SlotSize
+		if need > free {
+			pages++
+			free = usable
+		}
+		free -= need
+	}
+	f, err := hp.Create(s.Pool, pages)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range encoded {
+		if _, err := f.Insert(rec); err != nil {
+			// Fragmentation exceeded the slack: grow into a new file is
+			// not possible with fixed extents, so be generous instead.
+			return nil, fmt.Errorf("volcano: external sort run overflow: %w", err)
+		}
+	}
+	return &runReader{file: f, codec: s.Codec}, nil
+}
+
+// Next implements Iterator: merge phase.
+func (s *ExternalSort) Next() (Item, error) {
+	if !s.open {
+		return nil, ErrNotOpen
+	}
+	if s.merge.Len() == 0 {
+		return nil, Done
+	}
+	head := heap.Pop(s.merge).(runHead)
+	item, ok, err := head.run.next()
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		heap.Push(s.merge, runHead{item: item, run: head.run})
+	}
+	return head.item, nil
+}
+
+// Close implements Iterator.
+func (s *ExternalSort) Close() error {
+	s.open = false
+	s.runs = nil
+	s.merge = nil
+	return nil
+}
+
+// runReader streams a spilled run back, page by page.
+type runReader struct {
+	file    *hp.File
+	codec   Codec
+	pageIdx int
+	pending []Item
+}
+
+func (r *runReader) next() (Item, bool, error) {
+	for len(r.pending) == 0 {
+		if r.pageIdx >= r.file.NumPages() {
+			return nil, false, nil
+		}
+		var decErr error
+		err := r.file.ScanPage(r.pageIdx, func(_ hp.RID, rec []byte) bool {
+			item, derr := r.codec.Decode(rec)
+			if derr != nil {
+				decErr = derr
+				return false
+			}
+			r.pending = append(r.pending, item)
+			return true
+		})
+		if decErr != nil {
+			return nil, false, decErr
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		r.pageIdx++
+	}
+	item := r.pending[0]
+	r.pending = r.pending[1:]
+	return item, true, nil
+}
+
+// runHead is a merge-heap entry: the current head item of one run.
+type runHead struct {
+	item Item
+	run  *runReader
+}
+
+type mergeHeap struct {
+	heads []runHead
+	less  func(a, b Item) bool
+}
+
+func (m *mergeHeap) Len() int           { return len(m.heads) }
+func (m *mergeHeap) Less(i, j int) bool { return m.less(m.heads[i].item, m.heads[j].item) }
+func (m *mergeHeap) Swap(i, j int)      { m.heads[i], m.heads[j] = m.heads[j], m.heads[i] }
+func (m *mergeHeap) Push(x any)         { m.heads = append(m.heads, x.(runHead)) }
+func (m *mergeHeap) Pop() any {
+	last := m.heads[len(m.heads)-1]
+	m.heads = m.heads[:len(m.heads)-1]
+	return last
+}
