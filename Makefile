@@ -1,8 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet test bench figures examples cover clean
+.PHONY: all check build vet test test-race bench figures examples cover clean
 
-all: build vet test
+all: check
+
+# The full gate: everything CI would run.
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -12,6 +15,9 @@ vet:
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 # One testing.B bench per paper figure at the repo root, plus the
 # substrate micro-benchmarks in each package.

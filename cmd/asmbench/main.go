@@ -6,11 +6,15 @@
 // Usage:
 //
 //	asmbench [-figure all|fig11a|fig11b|fig11c|fig13a|fig13b|fig13c|
-//	          fig14|fig15|fig16|footprint|buffer-window|multi-device|page-batch]
+//	          fig14|fig15|fig16|footprint|buffer-window|multi-device|
+//	          page-batch|faults]
 //	         [-scale 1.0]
+//	         [-fault-seed 91] [-fault-transient 0.10] [-fault-permanent 0.005]
 //
 // -scale shrinks the database sizes for quick runs (0.1 → 100–400
-// complex objects); 1.0 reproduces the paper's 1000–4000.
+// complex objects); 1.0 reproduces the paper's 1000–4000. The -fault-*
+// flags parameterise the 'faults' figure: the injector seed and the
+// sweep's maximum transient and permanent fault rates.
 package main
 
 import (
@@ -24,8 +28,11 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "figure id to regenerate (fig11a..fig16, footprint, buffer-window, multi-device, page-batch), or 'all'")
+	figure := flag.String("figure", "all", "figure id to regenerate (fig11a..fig16, footprint, buffer-window, multi-device, page-batch, faults), or 'all'")
 	scale := flag.Float64("scale", 1.0, "database size scale factor (1.0 = paper scale)")
+	faultSeed := flag.Int64("fault-seed", bench.DefaultFaultOptions.Seed, "fault injector seed (figure 'faults')")
+	faultTransient := flag.Float64("fault-transient", bench.DefaultFaultOptions.Transient, "maximum transient-fault rate for the sweep (figure 'faults')")
+	faultPermanent := flag.Float64("fault-permanent", bench.DefaultFaultOptions.Permanent, "maximum permanent-fault rate for the sweep (figure 'faults')")
 	flag.Parse()
 
 	r := bench.NewRunner()
@@ -61,6 +68,12 @@ func main() {
 		figs, err = one(r.MultiDevice(*scale))
 	case "page-batch", "pagebatch":
 		figs, err = one(r.PageBatch(*scale))
+	case "faults":
+		figs, err = one(r.FigFaults(*scale, bench.FaultOptions{
+			Seed:      *faultSeed,
+			Transient: *faultTransient,
+			Permanent: *faultPermanent,
+		}))
 	default:
 		fmt.Fprintf(os.Stderr, "asmbench: unknown figure %q\n", *figure)
 		os.Exit(2)

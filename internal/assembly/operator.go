@@ -46,6 +46,42 @@ type Options struct {
 	// "only a single request should be issued to the buffer manager",
 	// worth it because "even buffer hits can be expensive" (footnote 5).
 	PageBatch bool
+	// FaultPolicy selects how the operator reacts to I/O errors while
+	// fetching referenced components. The default (FailFast) is the
+	// paper's implicit behavior: any error aborts the whole operator.
+	FaultPolicy FaultPolicy
+	// MaxRefRetries bounds per-reference retries under RetryFaults
+	// before the complex object is quarantined; values < 1 mean 3.
+	MaxRefRetries int
+}
+
+// FaultPolicy is the operator's reaction to a failed component fetch.
+type FaultPolicy int
+
+// Fault policies.
+const (
+	// FailFast surfaces the first fetch error from Next, losing the
+	// whole window — the pre-fault-tolerance behavior.
+	FailFast FaultPolicy = iota
+	// SkipObject quarantines only the complex object whose reference
+	// failed: the object is discarded with its pins released and
+	// counted in Stats.Skipped while the rest of the window proceeds.
+	SkipObject
+	// RetryFaults retries transiently failed references (bounded by
+	// MaxRefRetries) before falling back to SkipObject. Permanent
+	// faults skip immediately.
+	RetryFaults
+)
+
+func (p FaultPolicy) String() string {
+	switch p {
+	case SkipObject:
+		return "skip-object"
+	case RetryFaults:
+		return "retry"
+	default:
+		return "fail-fast"
+	}
 }
 
 // Stats reports what one operator run did.
@@ -60,6 +96,9 @@ type Stats struct {
 	NilRefs        int // references that were the nil OID
 	PeakRefPool    int // largest unresolved-reference pool observed
 	PeakWindowPgs  int // peak distinct pages backing the window
+	Skipped        int // complex objects quarantined by I/O faults
+	FaultRetries   int // reference fetches re-queued after transient faults
+	WindowStalls   int // admission pauses forced by buffer exhaustion
 }
 
 // Operator is the assembly operator: a Volcano physical operator that
@@ -91,6 +130,14 @@ type Operator struct {
 	footprint map[disk.PageID]int
 	stats     Stats
 	open      bool
+	// pressure marks buffer exhaustion: admission pauses (the
+	// effective window shrinks) until pins drain at the next emission
+	// or quarantine.
+	pressure bool
+	// stall counts consecutive fault absorptions without assembly
+	// progress; it guards the requeue loop against livelock when the
+	// buffer can never satisfy the remaining references.
+	stall int
 }
 
 // workItem is one window slot: a complex object being assembled.
@@ -163,6 +210,8 @@ func (op *Operator) Open() error {
 	op.outq = nil
 	op.footprint = map[disk.PageID]int{}
 	op.stats = Stats{}
+	op.pressure = false
+	op.stall = 0
 	if err := op.Input.Open(); err != nil {
 		return err
 	}
@@ -189,7 +238,13 @@ func (op *Operator) Next() (volcano.Item, error) {
 			item := op.outq[0]
 			op.outq = op.outq[1:]
 			op.releaseFootprint(item)
-			op.unpinFrames(item)
+			// Emission drains this item's pins: buffer pressure (if
+			// any) clears and admission may resume at full window.
+			op.pressure = false
+			op.stall = 0
+			if err := op.unpinFrames(item); err != nil {
+				return nil, err
+			}
 			return item.root, nil
 		}
 		// Keep the window full — unless pinned window pages are
@@ -221,26 +276,38 @@ func (op *Operator) Next() (volcano.Item, error) {
 	}
 }
 
-// Close implements volcano.Iterator.
+// Close implements volcano.Iterator. Pin-release failures are joined
+// with the input's close error instead of being dropped.
 func (op *Operator) Close() error {
 	op.open = false
+	var errs []error
 	for item := range op.liveSet {
-		op.unpinFrames(item)
+		if err := op.unpinFrames(item); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	op.liveSet = nil
 	for _, item := range op.outq {
-		op.unpinFrames(item)
+		if err := op.unpinFrames(item); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	op.outq = nil
 	op.sched = nil
 	op.shared = nil
-	return op.Input.Close()
+	errs = append(errs, op.Input.Close())
+	return errors.Join(errs...)
 }
 
 // admissionAllowed gates window growth on buffer headroom when window
 // pages are pinned. A lone complex object is always admitted so the
-// operator can make progress.
+// operator can make progress. Under buffer pressure (an observed
+// ErrNoFrames) admission also pauses until pins drain — the effective
+// window shrinks to what the pool sustains and recovers afterwards.
 func (op *Operator) admissionAllowed() bool {
+	if op.pressure && op.liveItems > 0 {
+		return false
+	}
 	if !op.Opts.PinWindowPages || op.liveItems == 0 {
 		return true
 	}
@@ -255,9 +322,10 @@ func (op *Operator) admissionAllowed() bool {
 
 // pinPage pins the page backing a freshly fetched component for the
 // item's lifetime. Pool exhaustion downgrades gracefully: the page
-// simply stays unpinned and may be re-read later.
+// simply stays unpinned and may be re-read later, and while the window
+// is under buffer pressure no new pins are taken at all.
 func (op *Operator) pinPage(item *workItem, pg disk.PageID) {
-	if !op.Opts.PinWindowPages {
+	if !op.Opts.PinWindowPages || op.pressure {
 		return
 	}
 	f, err := op.Store.File.Pool().Fix(pg)
@@ -267,15 +335,39 @@ func (op *Operator) pinPage(item *workItem, pg disk.PageID) {
 	item.frames = append(item.frames, f)
 }
 
-// unpinFrames releases every buffer pin the item holds.
-func (op *Operator) unpinFrames(item *workItem) {
+// unpinFrames releases every buffer pin the item holds. An Unfix
+// failure means double-release — a bookkeeping bug — so it propagates
+// through the operator's error return instead of being lost; every
+// frame is still visited so one bad pin cannot strand the rest.
+func (op *Operator) unpinFrames(item *workItem) error {
 	pool := op.Store.File.Pool()
+	var errs []error
 	for _, f := range item.frames {
-		// Unfix errors here would mean double-release; surface loudly
-		// during tests via the pool's own accounting instead.
-		_ = pool.Unfix(f, false)
+		if err := pool.Unfix(f, false); err != nil {
+			errs = append(errs, fmt.Errorf("assembly: release window pin: %w", err))
+		}
 	}
 	item.frames = nil
+	return errors.Join(errs...)
+}
+
+// shedPins releases every window pin held by live items. It is the
+// operator's response to buffer exhaustion: instances own decoded
+// copies of their records, so pins only keep the window's working set
+// resident — dropping them costs re-reads, never correctness. The
+// freed frames let the stalled fetches proceed; pinning resumes once
+// pressure clears at the next emission.
+func (op *Operator) shedPins() error {
+	var errs []error
+	for item := range op.liveSet {
+		if len(item.frames) == 0 {
+			continue
+		}
+		if err := op.unpinFrames(item); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 func (op *Operator) head() disk.PageID {
@@ -434,7 +526,7 @@ func (op *Operator) resolve(ref *Ref) error {
 	pool := op.Store.File.Pool()
 	fr, err := pool.Fix(ref.RID.Page)
 	if err != nil {
-		return err
+		return op.batchFault(batch, fmt.Errorf("assembly: fix page %d: %w", ref.RID.Page, err))
 	}
 	op.stats.PageRequests++
 	pg := page.Wrap(fr.Data())
@@ -509,18 +601,18 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 	if pg != nil {
 		rec, gerr := pg.Get(ref.RID.Slot)
 		if gerr != nil {
-			return fmt.Errorf("assembly: fetch %v from fixed page: %w", ref.OID, gerr)
+			return op.refFault(ref, fmt.Errorf("assembly: fetch %v from fixed page: %w", ref.OID, gerr))
 		}
 		var derr error
 		obj, derr = object.Decode(rec)
 		if derr != nil {
-			return fmt.Errorf("assembly: decode %v: %w", ref.OID, derr)
+			return op.refFault(ref, fmt.Errorf("assembly: decode %v: %w", ref.OID, derr))
 		}
 	} else {
 		var err error
 		obj, err = op.Store.GetAt(ref.RID)
 		if err != nil {
-			return fmt.Errorf("assembly: fetch %v: %w", ref.OID, err)
+			return op.refFault(ref, fmt.Errorf("assembly: fetch %v: %w", ref.OID, err))
 		}
 		op.stats.PageRequests++
 	}
@@ -536,6 +628,81 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 	}
 	op.settle(item)
 	return nil
+}
+
+// refFault reacts to a failed component fetch for ref, whose pending
+// count has already been consumed. It returns nil when the fault was
+// absorbed — the reference re-queued or the complex object
+// quarantined — and the error itself when it must surface (FailFast,
+// or a stalled buffer with no possible progress).
+func (op *Operator) refFault(ref *Ref, cause error) error {
+	item := ref.Item
+	if item == nil || item.aborted {
+		// A stale reference of an already-dead item: nothing to do.
+		return nil
+	}
+	// Buffer exhaustion is congestion, not a device fault: shrink the
+	// effective window — stop admitting, shed window pins (they are a
+	// working-set optimisation, never a correctness requirement) — and
+	// retry the reference, whatever the fault policy. The stall counter
+	// catches the hopeless case — a buffer that cannot sustain even
+	// unpinned assembly — after a full pass over the pending pool
+	// without any assembly progress.
+	if errors.Is(cause, buffer.ErrNoFrames) {
+		op.stall++
+		if op.stall > 2*(op.sched.Len()+op.liveItems)+4 {
+			return fmt.Errorf("assembly: window stalled, buffer cannot hold a single complex object: %w", cause)
+		}
+		if !op.pressure {
+			op.pressure = true
+			op.stats.WindowStalls++
+		}
+		if err := op.shedPins(); err != nil {
+			return err
+		}
+		item.pending++
+		op.dispatch(ref)
+		return nil
+	}
+	switch op.Opts.FaultPolicy {
+	case RetryFaults:
+		if disk.Retryable(cause) && ref.Attempts < op.maxRefRetries() {
+			ref.Attempts++
+			op.stats.FaultRetries++
+			item.pending++
+			op.dispatch(ref)
+			return nil
+		}
+		return op.quarantine(item)
+	case SkipObject:
+		return op.quarantine(item)
+	default:
+		return cause
+	}
+}
+
+// batchFault spreads a page-level failure (the PageBatch fix failed)
+// over every reference that was waiting on the page. Each live
+// reference consumes its pending count and goes through refFault.
+func (op *Operator) batchFault(batch []*Ref, cause error) error {
+	var first error
+	for _, r := range batch {
+		if !r.live() {
+			continue
+		}
+		r.Item.pending--
+		if err := op.refFault(r, cause); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (op *Operator) maxRefRetries() int {
+	if op.Opts.MaxRefRetries < 1 {
+		return 3
+	}
+	return op.Opts.MaxRefRetries
 }
 
 // place builds the instance for a fetched object, links it, evaluates
@@ -557,8 +724,7 @@ func (op *Operator) place(item *workItem, parent *Instance, slot int, node *Temp
 	// selection predicate" (Section 4).
 	if node.Pred != nil && !node.Pred.Eval(obj) {
 		op.stats.PredicateFails++
-		op.abort(item)
-		return nil, nil
+		return nil, op.abort(item)
 	}
 	op.link(item, &Ref{Parent: parent, Slot: slot, Item: item}, inst)
 	if node.Shared {
@@ -576,8 +742,7 @@ func (op *Operator) place(item *workItem, parent *Instance, slot int, node *Temp
 		return nil, err
 	}
 	if aborted {
-		op.abort(item)
-		return nil, nil
+		return nil, op.abort(item)
 	}
 	op.dispatch(batch...)
 	return inst, nil
@@ -602,8 +767,10 @@ func (op *Operator) adoptSubtree(item *workItem, root *Instance) error {
 }
 
 // link swizzles inst into its parent (or makes it the item's root) and
-// bumps the reference count.
+// bumps the reference count. Every link is assembly progress, so it
+// resets the buffer-stall counter.
 func (op *Operator) link(item *workItem, ref *Ref, inst *Instance) {
+	op.stall = 0
 	inst.refs++
 	if ref.Parent == nil {
 		item.root = inst
@@ -632,16 +799,40 @@ func (op *Operator) settle(item *workItem) {
 
 // abort abandons the item's assembly: its pending references die in
 // the scheduler (skipped lazily) and its footprint is released.
-func (op *Operator) abort(item *workItem) {
+func (op *Operator) abort(item *workItem) error {
 	if item.aborted {
-		return
+		return nil
 	}
 	item.aborted = true
 	op.liveItems--
 	op.stats.Aborted++
+	return op.discard(item)
+}
+
+// quarantine poisons one complex object after an unrecoverable fetch
+// fault: the object is discarded with its pins released and counted in
+// Stats.Skipped, while the rest of the window proceeds untouched.
+// Shared components it already completed stay registered — they are
+// whole subtrees, valid for other complex objects to link.
+func (op *Operator) quarantine(item *workItem) error {
+	if item.aborted {
+		return nil
+	}
+	item.aborted = true
+	op.liveItems--
+	op.stats.Skipped++
+	return op.discard(item)
+}
+
+// discard is the shared tail of abort and quarantine: the item leaves
+// the live set and its footprint and pins drain, releasing any buffer
+// pressure.
+func (op *Operator) discard(item *workItem) error {
 	delete(op.liveSet, item)
 	op.releaseFootprint(item)
-	op.unpinFrames(item)
+	op.pressure = false
+	op.stall = 0
+	return op.unpinFrames(item)
 }
 
 func (op *Operator) noteFootprint(item *workItem, pg disk.PageID) {

@@ -28,6 +28,9 @@ type Ref struct {
 	// Item is the window entry (complex object) the reference belongs
 	// to. Aborted items' references are skipped lazily.
 	Item *workItem
+	// Attempts counts fetch attempts that failed with a transient
+	// fault; the RetryFaults policy bounds it before quarantining.
+	Attempts int
 }
 
 // Page is the device page the reference resolves to.

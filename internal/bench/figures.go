@@ -446,6 +446,103 @@ func (r *Runner) PageBatch(scale float64) (Figure, error) {
 	return fig, nil
 }
 
+// FaultOptions parameterises the fault-tolerance sweep.
+type FaultOptions struct {
+	// Seed drives the deterministic injector.
+	Seed int64
+	// Transient is the sweep's maximum transient-fault rate (fraction
+	// of page reads); points run at 0, ¼, ½, and 1 times it.
+	Transient float64
+	// Permanent is the maximum permanent-fault rate, swept in the same
+	// proportions.
+	Permanent float64
+}
+
+// DefaultFaultOptions is the sweep cmd/asmbench runs when no fault
+// flags are given: up to 10% transient and 0.5% permanent faults.
+var DefaultFaultOptions = FaultOptions{Seed: benchSeed, Transient: 0.10, Permanent: 0.005}
+
+// FigFaults is the robustness extension (no paper counterpart): the
+// same database assembled under increasing fault rates, once per fault
+// policy. y is the fraction of complex objects assembled; Extra
+// carries the operator's transient-fault retries (retry series) and
+// quarantined objects (skip series). The point of the table: retrying
+// holds the loss to the permanently poisoned objects, while
+// skip-on-first-fault loses every object a transient blip touches.
+func (r *Runner) FigFaults(scale float64, opts FaultOptions) (Figure, error) {
+	if opts.Transient < 0 {
+		opts.Transient = 0
+	}
+	if opts.Permanent < 0 {
+		opts.Permanent = 0
+	}
+	if opts.Transient == 0 && opts.Permanent == 0 {
+		opts = FaultOptions{Seed: opts.Seed, Transient: DefaultFaultOptions.Transient, Permanent: DefaultFaultOptions.Permanent}
+	}
+	fig := Figure{
+		ID:     "faults",
+		Title:  "Fault injection vs assembly completion (robustness extension)",
+		XLabel: "transient %",
+		YLabel: "complex objects assembled (%)",
+		Notes: []string{
+			fmt.Sprintf("permanent-fault rate swept proportionally up to %.2f%%; injector seed %d", 100*opts.Permanent, opts.Seed),
+			"extra channel: operator fault retries (retry series), quarantined objects (skip series)",
+		},
+	}
+	size := scaled(1000, scale)
+	fd := disk.NewFaulty(disk.New(0), disk.FaultConfig{})
+	db, err := gen.Build(gen.Config{
+		NumComplexObjects: size,
+		Clustering:        gen.Unclustered,
+		Seed:              benchSeed,
+		Device:            fd,
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	items := make([]volcano.Item, len(db.Roots))
+	for i, root := range db.Roots {
+		items[i] = root
+	}
+	fractions := []float64{0, 0.25, 0.5, 1}
+	type policy struct {
+		label string
+		fp    assembly.FaultPolicy
+	}
+	for _, p := range []policy{{"retry", assembly.RetryFaults}, {"skip-object", assembly.SkipObject}} {
+		s := Series{Label: p.label}
+		for _, f := range fractions {
+			if err := db.Pool.EvictAll(); err != nil {
+				return Figure{}, err
+			}
+			fd.SetConfig(disk.FaultConfig{
+				Seed:              opts.Seed,
+				TransientRate:     f * opts.Transient,
+				TransientFailures: 2,
+				PermanentRate:     f * opts.Permanent,
+			})
+			op := assembly.New(volcano.NewSlice(items), db.Store, db.Template, assembly.Options{
+				Window:      50,
+				Scheduler:   assembly.Elevator,
+				FaultPolicy: p.fp,
+			})
+			if _, err := volcano.Count(op); err != nil {
+				return Figure{}, err
+			}
+			st := op.Stats()
+			s.X = append(s.X, 100*f*opts.Transient)
+			s.Y = append(s.Y, 100*float64(st.Assembled)/float64(len(db.Roots)))
+			if p.fp == assembly.RetryFaults {
+				s.Extra = append(s.Extra, float64(st.FaultRetries))
+			} else {
+				s.Extra = append(s.Extra, float64(st.Skipped))
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
 // AllFigures runs every reproduced figure at the given scale.
 func (r *Runner) AllFigures(scale float64) ([]Figure, error) {
 	var out []Figure
@@ -458,7 +555,8 @@ func (r *Runner) AllFigures(scale float64) ([]Figure, error) {
 			out = append(out, f)
 		}
 	}
-	for _, fn := range []func(float64) (Figure, error){r.Fig14, r.Fig15, r.Fig16, r.WindowFootprint, r.BufferWindow, r.MultiDevice, r.PageBatch} {
+	faults := func(s float64) (Figure, error) { return r.FigFaults(s, DefaultFaultOptions) }
+	for _, fn := range []func(float64) (Figure, error){r.Fig14, r.Fig15, r.Fig16, r.WindowFootprint, r.BufferWindow, r.MultiDevice, r.PageBatch, faults} {
 		f, err := fn(scale)
 		if err != nil {
 			return nil, err

@@ -33,6 +33,7 @@ type Stats struct {
 	Faults    int64 // requests that required a device read
 	Evictions int64 // frames reused for a different page
 	Flushes   int64 // dirty page write-backs
+	Retries   int64 // device accesses repeated after transient faults
 	PeakPins  int   // high-water mark of simultaneously pinned frames
 }
 
@@ -94,6 +95,7 @@ type Pool struct {
 	table  map[disk.PageID]*Frame
 	tick   int64
 	hand   int
+	retry  disk.RetryPolicy
 	stats  Stats
 	closed bool
 }
@@ -138,6 +140,35 @@ func (p *Pool) ResetStats() {
 	p.stats = Stats{}
 }
 
+// SetRetry installs a retry-with-backoff policy on the pool's device
+// accesses: reads and write-backs that fail with a transient error
+// (disk.Retryable) are repeated within the policy's budget, so
+// transient faults are absorbed below the pool's callers. The zero
+// policy (the default) disables retries.
+//
+// Retries run while the pool lock is held — consistent with the rest
+// of the pool, whose device I/O is synchronous under the lock — so
+// backoffs should stay in the microsecond-to-millisecond range.
+func (p *Pool) SetRetry(rp disk.RetryPolicy) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.retry = rp
+}
+
+// readLocked reads a page under the retry policy. Caller holds mu.
+func (p *Pool) readLocked(id disk.PageID, buf []byte) error {
+	retries, err := p.retry.Do(func() error { return p.dev.ReadPage(id, buf) })
+	p.stats.Retries += int64(retries)
+	return err
+}
+
+// writeLocked writes a page under the retry policy. Caller holds mu.
+func (p *Pool) writeLocked(id disk.PageID, buf []byte) error {
+	retries, err := p.retry.Do(func() error { return p.dev.WritePage(id, buf) })
+	p.stats.Retries += int64(retries)
+	return err
+}
+
 // PinnedFrames counts currently pinned frames.
 func (p *Pool) PinnedFrames() int {
 	p.mu.Lock()
@@ -177,7 +208,7 @@ func (p *Pool) Fix(id disk.PageID) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := p.dev.ReadPage(id, f.data); err != nil {
+	if err := p.readLocked(id, f.data); err != nil {
 		// Leave the frame free for the next caller.
 		f.id = disk.InvalidPage
 		return nil, err
@@ -258,7 +289,7 @@ func (p *Pool) victimLocked() (*Frame, error) {
 		return nil, ErrNoFrames
 	}
 	if victim.dirty {
-		if err := p.dev.WritePage(victim.id, victim.data); err != nil {
+		if err := p.writeLocked(victim.id, victim.data); err != nil {
 			return nil, err
 		}
 		p.stats.Flushes++
@@ -355,7 +386,7 @@ func (p *Pool) flushLocked() error {
 		if f.id == disk.InvalidPage || !f.dirty {
 			continue
 		}
-		if err := p.dev.WritePage(f.id, f.data); err != nil {
+		if err := p.writeLocked(f.id, f.data); err != nil {
 			return err
 		}
 		f.dirty = false

@@ -2,6 +2,7 @@ package buffer
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -327,5 +328,126 @@ func TestRandomWorkloadConsistency(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// --- fault propagation and retry (fault-tolerant I/O stack) ---
+
+// TestPoolSurfacesDeviceFaults exercises disk.Sim.SetFault through the
+// pool layer: an injected read fault must surface from Fix with the
+// frame left reusable, and clear once the injector is removed.
+func TestPoolSurfacesDeviceFaults(t *testing.T) {
+	p, d := newPool(t, 8, 2, LRU)
+	boom := errors.New("injected read fault")
+	d.SetFault(func(pg disk.PageID, write bool) error {
+		if pg == 5 && !write {
+			return boom
+		}
+		return nil
+	})
+	if _, err := p.Fix(5); !errors.Is(err, boom) {
+		t.Fatalf("Fix(5) = %v, want injected fault", err)
+	}
+	// The failed fix must not leak the frame or poison the table.
+	if p.Contains(5) {
+		t.Error("faulted page cached in pool")
+	}
+	if n := p.PinnedFrames(); n != 0 {
+		t.Errorf("pinned frames after faulted fix = %d", n)
+	}
+	// Other pages still work, and the page recovers once the fault
+	// clears.
+	f, err := p.Fix(3)
+	if err != nil {
+		t.Fatalf("Fix(3) beside faulted page: %v", err)
+	}
+	if err := p.Unfix(f, false); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFault(nil)
+	f, err = p.Fix(5)
+	if err != nil {
+		t.Fatalf("Fix(5) after clearing fault: %v", err)
+	}
+	if err := p.Unfix(f, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolWriteBackFaultSurfaces injects a write fault and checks that
+// a dirty eviction reports it instead of losing the page silently.
+func TestPoolWriteBackFaultSurfaces(t *testing.T) {
+	p, d := newPool(t, 8, 1, LRU)
+	f, err := p.Fix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data()[0] = 42
+	if err := p.Unfix(f, true); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected write fault")
+	d.SetFault(func(pg disk.PageID, write bool) error {
+		if write {
+			return boom
+		}
+		return nil
+	})
+	// Evicting the dirty page for another fix must surface the fault.
+	if _, err := p.Fix(2); !errors.Is(err, boom) {
+		t.Fatalf("Fix(2) over dirty faulted page = %v, want injected fault", err)
+	}
+	d.SetFault(nil)
+	if _, err := p.Fix(2); err != nil {
+		t.Fatalf("Fix(2) after clearing fault: %v", err)
+	}
+}
+
+// TestPoolRetryAbsorbsTransientFaults turns on the pool retry policy:
+// transient device faults must be invisible to Fix callers and counted
+// in Stats.Retries.
+func TestPoolRetryAbsorbsTransientFaults(t *testing.T) {
+	p, d := newPool(t, 16, 4, LRU)
+	p.SetRetry(disk.RetryPolicy{MaxAttempts: 4})
+	remaining := map[disk.PageID]int{3: 2, 7: 1}
+	d.SetFault(func(pg disk.PageID, write bool) error {
+		if remaining[pg] > 0 {
+			remaining[pg]--
+			return fmt.Errorf("%w: page %d", disk.ErrTransient, pg)
+		}
+		return nil
+	})
+	for _, pg := range []disk.PageID{3, 7, 1} {
+		f, err := p.Fix(pg)
+		if err != nil {
+			t.Fatalf("Fix(%d) with retry policy: %v", pg, err)
+		}
+		if err := p.Unfix(f, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Stats().Retries; got != 3 {
+		t.Errorf("Stats.Retries = %d, want 3", got)
+	}
+}
+
+// TestPoolRetryGivesUpOnPermanent checks classification: permanent
+// faults must not burn retry budget.
+func TestPoolRetryGivesUpOnPermanent(t *testing.T) {
+	p, d := newPool(t, 8, 2, LRU)
+	p.SetRetry(disk.RetryPolicy{MaxAttempts: 5})
+	calls := 0
+	d.SetFault(func(pg disk.PageID, write bool) error {
+		calls++
+		return fmt.Errorf("%w: page %d", disk.ErrPermanent, pg)
+	})
+	if _, err := p.Fix(2); !errors.Is(err, disk.ErrPermanent) {
+		t.Fatalf("Fix = %v, want ErrPermanent", err)
+	}
+	if calls != 1 {
+		t.Errorf("permanent fault retried: %d device calls", calls)
+	}
+	if got := p.Stats().Retries; got != 0 {
+		t.Errorf("Stats.Retries = %d, want 0", got)
 	}
 }

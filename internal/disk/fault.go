@@ -1,0 +1,90 @@
+package disk
+
+import (
+	"errors"
+	"time"
+)
+
+// Fault taxonomy. The paper's evaluation assumes a perfectly reliable
+// device; a production system does not get one. Every I/O error the
+// stack surfaces is classified into exactly two kinds:
+//
+//   - Transient: the access failed this time but a retry may succeed
+//     (a queue timeout, a recoverable media hiccup). Wrapped around
+//     ErrTransient so errors.Is classifies it anywhere up the stack.
+//   - Permanent: the page is gone and retrying is pointless (an
+//     unrecoverable media error). Wrapped around ErrPermanent.
+//
+// Errors that wrap neither sentinel (ErrOutOfRange, ErrClosed,
+// ErrBadLength, decode failures above the device) are treated as
+// permanent by every retry loop: only explicitly transient errors are
+// worth repeating.
+var (
+	// ErrTransient marks an I/O error that may succeed on retry.
+	ErrTransient = errors.New("disk: transient I/O error")
+	// ErrPermanent marks an unrecoverable page error.
+	ErrPermanent = errors.New("disk: permanent page error")
+)
+
+// Retryable reports whether err is worth retrying: only errors that
+// declare themselves transient are.
+func Retryable(err error) bool { return errors.Is(err, ErrTransient) }
+
+// RetryPolicy bounds a retry-with-exponential-backoff loop. The zero
+// value disables retries (a single attempt, no backoff).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// values below 2 mean "no retries".
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further
+	// retry doubles it.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling; zero means uncapped.
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy is a sensible production default: four attempts
+// with 100µs–10ms exponential backoff.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 4,
+	BaseBackoff: 100 * time.Microsecond,
+	MaxBackoff:  10 * time.Millisecond,
+}
+
+// Enabled reports whether the policy performs any retries at all.
+func (rp RetryPolicy) Enabled() bool { return rp.MaxAttempts > 1 }
+
+// Backoff returns the delay before the given retry (0 = first retry),
+// doubling from BaseBackoff and saturating at MaxBackoff.
+func (rp RetryPolicy) Backoff(retry int) time.Duration {
+	d := rp.BaseBackoff
+	for i := 0; i < retry; i++ {
+		d *= 2
+		if rp.MaxBackoff > 0 && d >= rp.MaxBackoff {
+			return rp.MaxBackoff
+		}
+	}
+	if rp.MaxBackoff > 0 && d > rp.MaxBackoff {
+		d = rp.MaxBackoff
+	}
+	return d
+}
+
+// Do runs fn under the policy: it re-invokes fn after a backoff while
+// fn keeps failing with a retryable error and attempts remain. It
+// returns the last error and the number of retries performed.
+func (rp RetryPolicy) Do(fn func() error) (retries int, err error) {
+	attempts := rp.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || !Retryable(err) || attempt+1 >= attempts {
+			return attempt, err
+		}
+		if d := rp.Backoff(attempt); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}

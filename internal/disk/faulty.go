@@ -1,0 +1,208 @@
+package disk
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FaultConfig parameterizes deterministic fault injection. All
+// decisions are pure functions of (Seed, page id), so a run over a
+// Faulty device is reproducible regardless of request order, and a
+// test can predict exactly which pages are poisoned.
+type FaultConfig struct {
+	// Seed drives every injection decision. Two Faulty devices with
+	// the same seed and rates fault the same pages.
+	Seed int64
+	// TransientRate is the fraction of pages whose reads initially
+	// fail with ErrTransient and then succeed (0..1).
+	TransientRate float64
+	// TransientFailures is how many consecutive failures a transient
+	// page serves before recovering; values < 1 mean 1.
+	TransientFailures int
+	// PermanentRate is the fraction of pages that always fail with
+	// ErrPermanent (0..1). Permanent wins over transient on overlap.
+	PermanentRate float64
+	// LatencyRate is the fraction of accesses delayed by Latency — a
+	// latency spike model for timing-sensitive callers (0..1).
+	LatencyRate float64
+	// Latency is the injected spike duration.
+	Latency time.Duration
+	// Writes extends injection to WritePage; by default only reads
+	// fault, which matches the assembly workload (read-dominated).
+	Writes bool
+}
+
+// FaultStats counts what the injector actually did.
+type FaultStats struct {
+	Transient int64 // transient errors injected
+	Permanent int64 // permanent errors injected
+	Latency   int64 // latency spikes injected
+}
+
+// Faulty wraps any Device with deterministic, seeded fault injection.
+// It implements the full Device interface, so it can sit between a
+// buffer pool and a Sim, a Striped device, or another Faulty.
+//
+// A fresh Faulty starts disarmed (zero config): populate the database
+// first, then arm the injector with SetConfig.
+type Faulty struct {
+	dev Device
+
+	mu sync.Mutex
+	// cfg is the armed configuration; the zero value injects nothing.
+	cfg FaultConfig
+	// remaining tracks how many transient failures each faulty page
+	// still owes before it recovers.
+	remaining map[PageID]int
+	stats     FaultStats
+}
+
+// NewFaulty wraps dev with the given fault configuration.
+func NewFaulty(dev Device, cfg FaultConfig) *Faulty {
+	return &Faulty{dev: dev, cfg: cfg, remaining: map[PageID]int{}}
+}
+
+// Inner returns the wrapped device.
+func (f *Faulty) Inner() Device { return f.dev }
+
+// SetConfig re-arms the injector, resetting transient failure budgets
+// and counters. Arming with the zero FaultConfig disarms it.
+func (f *Faulty) SetConfig(cfg FaultConfig) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg = cfg
+	f.remaining = map[PageID]int{}
+	f.stats = FaultStats{}
+}
+
+// FaultStats returns a snapshot of the injection counters.
+func (f *Faulty) FaultStats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Injection salts keep the three decisions independent.
+const (
+	saltPermanent = 0x9E3779B97F4A7C15
+	saltTransient = 0xC2B2AE3D27D4EB4F
+	saltLatency   = 0x165667B19E3779F9
+)
+
+// mix is splitmix64: a cheap, well-distributed hash of the decision
+// inputs. The low 53 bits become a uniform float in [0, 1).
+func mix(seed int64, page PageID, salt uint64) float64 {
+	z := uint64(seed) ^ uint64(page)*0x9E3779B97F4A7C15 ^ salt
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// PermanentlyFaulty reports whether the injector permanently fails
+// page p under the current configuration. Tests use it to compute the
+// poisoned set without replaying I/O.
+func (f *Faulty) PermanentlyFaulty(p PageID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.permanentLocked(p)
+}
+
+func (f *Faulty) permanentLocked(p PageID) bool {
+	return f.cfg.PermanentRate > 0 && mix(f.cfg.Seed, p, saltPermanent) < f.cfg.PermanentRate
+}
+
+// TransientlyFaulty reports whether page p starts out transiently
+// failing under the current configuration (regardless of how many
+// failures it has already served).
+func (f *Faulty) TransientlyFaulty(p PageID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.transientLocked(p)
+}
+
+func (f *Faulty) transientLocked(p PageID) bool {
+	return f.cfg.TransientRate > 0 && mix(f.cfg.Seed, p, saltTransient) < f.cfg.TransientRate
+}
+
+// inject decides the fate of one access before it reaches the device.
+func (f *Faulty) inject(p PageID, write bool) error {
+	f.mu.Lock()
+	if write && !f.cfg.Writes {
+		f.mu.Unlock()
+		return nil
+	}
+	var delay time.Duration
+	if f.cfg.LatencyRate > 0 && mix(f.cfg.Seed, p, saltLatency) < f.cfg.LatencyRate {
+		f.stats.Latency++
+		delay = f.cfg.Latency
+	}
+	var err error
+	switch {
+	case f.permanentLocked(p):
+		f.stats.Permanent++
+		err = fmt.Errorf("%w: page %d", ErrPermanent, p)
+	case f.transientLocked(p):
+		left, seen := f.remaining[p]
+		if !seen {
+			left = f.cfg.TransientFailures
+			if left < 1 {
+				left = 1
+			}
+		}
+		if left > 0 {
+			f.remaining[p] = left - 1
+			f.stats.Transient++
+			err = fmt.Errorf("%w: page %d", ErrTransient, p)
+		}
+	}
+	f.mu.Unlock()
+	// Sleep outside the lock so a latency spike on one page does not
+	// stall concurrent accesses to others.
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
+}
+
+// ReadPage implements Device.
+func (f *Faulty) ReadPage(p PageID, buf []byte) error {
+	if err := f.inject(p, false); err != nil {
+		return err
+	}
+	return f.dev.ReadPage(p, buf)
+}
+
+// WritePage implements Device.
+func (f *Faulty) WritePage(p PageID, buf []byte) error {
+	if err := f.inject(p, true); err != nil {
+		return err
+	}
+	return f.dev.WritePage(p, buf)
+}
+
+// Allocate implements Device.
+func (f *Faulty) Allocate(n int) (PageID, error) { return f.dev.Allocate(n) }
+
+// NumPages implements Device.
+func (f *Faulty) NumPages() int { return f.dev.NumPages() }
+
+// PageSize implements Device.
+func (f *Faulty) PageSize() int { return f.dev.PageSize() }
+
+// Head implements Device.
+func (f *Faulty) Head() PageID { return f.dev.Head() }
+
+// Stats implements Device.
+func (f *Faulty) Stats() Stats { return f.dev.Stats() }
+
+// ResetStats implements Device: it clears the device counters but not
+// the fault counters (use SetConfig to re-arm those).
+func (f *Faulty) ResetStats() { f.dev.ResetStats() }
+
+// ResetHead implements Device.
+func (f *Faulty) ResetHead() { f.dev.ResetHead() }
+
+// Close implements Device.
+func (f *Faulty) Close() error { return f.dev.Close() }

@@ -1,0 +1,186 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultyDisarmedIsTransparent(t *testing.T) {
+	inner := New(16)
+	f := NewFaulty(inner, FaultConfig{})
+	buf := make([]byte, DefaultPageSize)
+	for p := 0; p < 16; p++ {
+		if err := f.ReadPage(PageID(p), buf); err != nil {
+			t.Fatalf("disarmed read %d: %v", p, err)
+		}
+		if err := f.WritePage(PageID(p), buf); err != nil {
+			t.Fatalf("disarmed write %d: %v", p, err)
+		}
+	}
+	if st := f.FaultStats(); st != (FaultStats{}) {
+		t.Errorf("disarmed injector counted faults: %+v", st)
+	}
+	if f.Stats().Reads != 16 {
+		t.Errorf("reads not forwarded: %+v", f.Stats())
+	}
+}
+
+func TestFaultyTransientRecoversAfterN(t *testing.T) {
+	inner := New(256)
+	f := NewFaulty(inner, FaultConfig{Seed: 7, TransientRate: 0.3, TransientFailures: 2})
+	buf := make([]byte, DefaultPageSize)
+
+	faulty, clean := 0, 0
+	for p := 0; p < 256; p++ {
+		id := PageID(p)
+		if !f.TransientlyFaulty(id) {
+			clean++
+			if err := f.ReadPage(id, buf); err != nil {
+				t.Fatalf("clean page %d: %v", p, err)
+			}
+			continue
+		}
+		faulty++
+		for i := 0; i < 2; i++ {
+			err := f.ReadPage(id, buf)
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("page %d failure %d: err = %v, want ErrTransient", p, i, err)
+			}
+			if !Retryable(err) {
+				t.Fatalf("transient error not Retryable: %v", err)
+			}
+		}
+		if err := f.ReadPage(id, buf); err != nil {
+			t.Fatalf("page %d after %d failures: %v", p, 2, err)
+		}
+	}
+	if faulty == 0 || clean == 0 {
+		t.Fatalf("degenerate injection split: %d faulty, %d clean", faulty, clean)
+	}
+	// ~30% of 256 pages should be transiently faulty.
+	if faulty < 40 || faulty > 120 {
+		t.Errorf("transient rate 0.3 marked %d/256 pages", faulty)
+	}
+	if st := f.FaultStats(); st.Transient != int64(2*faulty) {
+		t.Errorf("Transient = %d, want %d", st.Transient, 2*faulty)
+	}
+}
+
+func TestFaultyPermanentNeverRecovers(t *testing.T) {
+	inner := New(256)
+	f := NewFaulty(inner, FaultConfig{Seed: 11, PermanentRate: 0.1})
+	buf := make([]byte, DefaultPageSize)
+	poisoned := 0
+	for p := 0; p < 256; p++ {
+		id := PageID(p)
+		want := f.PermanentlyFaulty(id)
+		for i := 0; i < 3; i++ {
+			err := f.ReadPage(id, buf)
+			if want {
+				if !errors.Is(err, ErrPermanent) {
+					t.Fatalf("page %d attempt %d: err = %v, want ErrPermanent", p, i, err)
+				}
+				if Retryable(err) {
+					t.Fatalf("permanent error classified retryable: %v", err)
+				}
+			} else if err != nil {
+				t.Fatalf("clean page %d: %v", p, err)
+			}
+		}
+		if want {
+			poisoned++
+		}
+	}
+	if poisoned < 10 || poisoned > 50 {
+		t.Errorf("permanent rate 0.1 poisoned %d/256 pages", poisoned)
+	}
+}
+
+func TestFaultyDeterministicAcrossInstances(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, TransientRate: 0.2, PermanentRate: 0.05}
+	a := NewFaulty(New(128), cfg)
+	b := NewFaulty(New(128), cfg)
+	for p := 0; p < 128; p++ {
+		id := PageID(p)
+		if a.PermanentlyFaulty(id) != b.PermanentlyFaulty(id) {
+			t.Fatalf("permanent decision diverges at page %d", p)
+		}
+		if a.TransientlyFaulty(id) != b.TransientlyFaulty(id) {
+			t.Fatalf("transient decision diverges at page %d", p)
+		}
+	}
+}
+
+func TestFaultyWritesGated(t *testing.T) {
+	inner := New(64)
+	f := NewFaulty(inner, FaultConfig{Seed: 3, PermanentRate: 1})
+	buf := make([]byte, DefaultPageSize)
+	// Writes pass by default even when every read is poisoned.
+	if err := f.WritePage(5, buf); err != nil {
+		t.Fatalf("gated write faulted: %v", err)
+	}
+	f.SetConfig(FaultConfig{Seed: 3, PermanentRate: 1, Writes: true})
+	if err := f.WritePage(5, buf); !errors.Is(err, ErrPermanent) {
+		t.Fatalf("write with Writes=true: err = %v, want ErrPermanent", err)
+	}
+}
+
+func TestFaultyLatencySpikes(t *testing.T) {
+	inner := New(32)
+	f := NewFaulty(inner, FaultConfig{Seed: 9, LatencyRate: 1, Latency: time.Millisecond})
+	buf := make([]byte, DefaultPageSize)
+	start := time.Now()
+	if err := f.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < time.Millisecond {
+		t.Errorf("latency spike not applied: read took %v", d)
+	}
+	if st := f.FaultStats(); st.Latency != 1 {
+		t.Errorf("Latency = %d, want 1", st.Latency)
+	}
+}
+
+func TestRetryPolicyBackoffAndDo(t *testing.T) {
+	rp := RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Microsecond, MaxBackoff: 4 * time.Microsecond}
+	if got := rp.Backoff(0); got != time.Microsecond {
+		t.Errorf("Backoff(0) = %v", got)
+	}
+	if got := rp.Backoff(10); got != 4*time.Microsecond {
+		t.Errorf("Backoff(10) = %v, want cap", got)
+	}
+
+	// Transient error vanishes after 2 failures: Do must absorb it.
+	fails := 2
+	retries, err := rp.Do(func() error {
+		if fails > 0 {
+			fails--
+			return ErrTransient
+		}
+		return nil
+	})
+	if err != nil || retries != 2 {
+		t.Errorf("Do absorbed: retries=%d err=%v", retries, err)
+	}
+
+	// Permanent errors are never retried.
+	calls := 0
+	_, err = rp.Do(func() error { calls++; return ErrPermanent })
+	if !errors.Is(err, ErrPermanent) || calls != 1 {
+		t.Errorf("Do on permanent: calls=%d err=%v", calls, err)
+	}
+
+	// Budget exhaustion surfaces the transient error.
+	_, err = rp.Do(func() error { return ErrTransient })
+	if !errors.Is(err, ErrTransient) {
+		t.Errorf("Do exhausted: err=%v", err)
+	}
+
+	// Zero policy: one attempt, no retry.
+	var zero RetryPolicy
+	calls = 0
+	if _, err := zero.Do(func() error { calls++; return ErrTransient }); !errors.Is(err, ErrTransient) || calls != 1 {
+		t.Errorf("zero policy: calls=%d err=%v", calls, err)
+	}
+}

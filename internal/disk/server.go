@@ -20,6 +20,8 @@ type Server struct {
 	cond      *sync.Cond
 	queue     []*request
 	batchWait time.Duration
+	retry     RetryPolicy
+	retries   int64
 	closed    bool
 	stopped   chan struct{}
 }
@@ -49,8 +51,29 @@ func (s *Server) SetBatchWait(d time.Duration) {
 	s.batchWait = d
 }
 
+// SetRetry installs a retry-with-backoff policy on the read path:
+// accesses that fail with a transient error (disk.Retryable) are
+// repeated up to the policy's budget before the error is delivered to
+// the client. The zero policy (the default) disables retries.
+func (s *Server) SetRetry(rp RetryPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retry = rp
+}
+
+// Retries reports how many read attempts the server has repeated
+// after transient faults.
+func (s *Server) Retries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retries
+}
+
 // Read reads page p through the server, blocking until serviced.
-// The buffer contract matches Device.ReadPage.
+// The buffer contract matches Device.ReadPage. A Read that races with
+// Close gets a definitive outcome: either it is serviced (the close
+// drains the queue first) or it fails with ErrClosed; requests are
+// never silently dropped.
 func (s *Server) Read(p PageID, buf []byte) error {
 	req := &request{page: p, buf: buf, done: make(chan error, 1)}
 	s.mu.Lock()
@@ -62,6 +85,20 @@ func (s *Server) Read(p PageID, buf []byte) error {
 	s.cond.Signal()
 	s.mu.Unlock()
 	return <-req.done
+}
+
+// service performs one request's device read under the retry policy.
+func (s *Server) service(req *request) error {
+	s.mu.Lock()
+	rp := s.retry
+	s.mu.Unlock()
+	retries, err := rp.Do(func() error { return s.dev.ReadPage(req.page, req.buf) })
+	if retries > 0 {
+		s.mu.Lock()
+		s.retries += int64(retries)
+		s.mu.Unlock()
+	}
+	return err
 }
 
 func (s *Server) run() {
@@ -95,10 +132,10 @@ func (s *Server) run() {
 		// rest descending (one SCAN sweep and return).
 		split := sort.Search(len(batch), func(i int) bool { return batch[i].page >= head })
 		for i := split; i < len(batch); i++ {
-			batch[i].done <- s.dev.ReadPage(batch[i].page, batch[i].buf)
+			batch[i].done <- s.service(batch[i])
 		}
 		for i := split - 1; i >= 0; i-- {
-			batch[i].done <- s.dev.ReadPage(batch[i].page, batch[i].buf)
+			batch[i].done <- s.service(batch[i])
 		}
 	}
 }

@@ -3,6 +3,7 @@ package heap
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -267,5 +268,85 @@ func TestGetDoesNotLeakPins(t *testing.T) {
 	}
 	if n := f.Pool().PinnedFrames(); n != 0 {
 		t.Errorf("pinned frames after failing Get = %d, want 0", n)
+	}
+}
+
+// --- device fault propagation through the heap layer ---
+
+// TestHeapSurfacesDeviceFaults exercises disk.Sim.SetFault two layers
+// up: a read fault on one extent page must surface from Get/Read and
+// Scan, leave other pages readable, and clear with the injector.
+func TestHeapSurfacesDeviceFaults(t *testing.T) {
+	f, d := newFile(t, 4, 8)
+	var rids []RID
+	for i := 0; i < 4; i++ {
+		rid, err := f.InsertAt(i, bytes.Repeat([]byte{byte(i)}, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	// Drop everything to the device so reads hit it again.
+	if err := f.Pool().EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := rids[2].Page
+	d.SetFault(func(pg disk.PageID, write bool) error {
+		if pg == bad && !write {
+			return fmt.Errorf("%w: page %d", disk.ErrPermanent, pg)
+		}
+		return nil
+	})
+	if _, err := f.Read(rids[2]); !errors.Is(err, disk.ErrPermanent) {
+		t.Fatalf("Read through faulted page = %v, want ErrPermanent", err)
+	}
+	// Records on healthy pages stay reachable.
+	if rec, err := f.Read(rids[0]); err != nil || rec[0] != 0 {
+		t.Fatalf("Read healthy page: rec=%v err=%v", rec, err)
+	}
+	// A full scan runs into the fault and reports it.
+	if err := f.Scan(func(RID, []byte) bool { return true }); !errors.Is(err, disk.ErrPermanent) {
+		t.Fatalf("Scan over faulted extent = %v, want ErrPermanent", err)
+	}
+	d.SetFault(nil)
+	if err := f.Pool().EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	if rec, err := f.Read(rids[2]); err != nil || rec[0] != 2 {
+		t.Fatalf("Read after clearing fault: rec=%v err=%v", rec, err)
+	}
+}
+
+// TestHeapPoolRetryAbsorbsTransient turns the pool retry policy on
+// under the heap file: a transient device fault must be invisible to
+// Get callers.
+func TestHeapPoolRetryAbsorbsTransient(t *testing.T) {
+	f, d := newFile(t, 2, 4)
+	rid, err := f.InsertAt(1, []byte("payload-0123456"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Pool().EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	f.Pool().SetRetry(disk.RetryPolicy{MaxAttempts: 3})
+	remaining := 2
+	d.SetFault(func(pg disk.PageID, write bool) error {
+		if pg == rid.Page && !write && remaining > 0 {
+			remaining--
+			return fmt.Errorf("%w: page %d", disk.ErrTransient, pg)
+		}
+		return nil
+	})
+	rec, err := f.Read(rid)
+	if err != nil {
+		t.Fatalf("Read under transient faults: %v", err)
+	}
+	if string(rec) != "payload-0123456" {
+		t.Fatalf("record corrupted: %q", rec)
+	}
+	if got := f.Pool().Stats().Retries; got != 2 {
+		t.Errorf("pool retries = %d, want 2", got)
 	}
 }
