@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race bench figures examples cover clean
+.PHONY: all check build vet test test-race bench figures trace-demo examples cover clean
 
 all: check
 
@@ -28,6 +28,12 @@ bench:
 figures:
 	$(GO) run ./cmd/asmbench -figure all
 
+# End-to-end observability demo: record a traced benchmark run, then
+# replay the trace and verify it reconstructs the reported counters.
+trace-demo:
+	$(GO) run ./cmd/asmbench -figure fig13c -scale 0.1 -trace trace.jsonl
+	$(GO) run ./cmd/asmtrace trace.jsonl
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/genealogy
@@ -41,4 +47,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt db.pages db.manifest
+	rm -f cover.out test_output.txt bench_output.txt db.pages db.manifest trace.jsonl

@@ -8,13 +8,18 @@
 //	asmbench [-figure all|fig11a|fig11b|fig11c|fig13a|fig13b|fig13c|
 //	          fig14|fig15|fig16|footprint|buffer-window|multi-device|
 //	          page-batch|faults]
-//	         [-scale 1.0]
+//	         [-scale 1.0] [-json] [-trace FILE]
 //	         [-fault-seed 91] [-fault-transient 0.10] [-fault-permanent 0.005]
 //
 // -scale shrinks the database sizes for quick runs (0.1 → 100–400
 // complex objects); 1.0 reproduces the paper's 1000–4000. The -fault-*
 // flags parameterise the 'faults' figure: the injector seed and the
 // sweep's maximum transient and permanent fault rates.
+//
+// -json prints the figures as deterministic JSON instead of text tables
+// (the schema the golden-file test pins). -trace FILE records every
+// run's disk, buffer, and assembly events as JSONL; replay the file
+// with cmd/asmtrace to reconstruct — and verify — the reported numbers.
 package main
 
 import (
@@ -25,17 +30,30 @@ import (
 	"time"
 
 	"revelation/internal/bench"
+	"revelation/internal/trace"
 )
 
 func main() {
 	figure := flag.String("figure", "all", "figure id to regenerate (fig11a..fig16, footprint, buffer-window, multi-device, page-batch, faults), or 'all'")
 	scale := flag.Float64("scale", 1.0, "database size scale factor (1.0 = paper scale)")
+	jsonOut := flag.Bool("json", false, "print figures as deterministic JSON instead of text tables")
+	traceFile := flag.String("trace", "", "record per-event JSONL trace of every run to this file (replay with asmtrace)")
 	faultSeed := flag.Int64("fault-seed", bench.DefaultFaultOptions.Seed, "fault injector seed (figure 'faults')")
 	faultTransient := flag.Float64("fault-transient", bench.DefaultFaultOptions.Transient, "maximum transient-fault rate for the sweep (figure 'faults')")
 	faultPermanent := flag.Float64("fault-permanent", bench.DefaultFaultOptions.Permanent, "maximum permanent-fault rate for the sweep (figure 'faults')")
 	flag.Parse()
 
 	r := bench.NewRunner()
+	var traceSink *trace.Writer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asmbench: %v\n", err)
+			os.Exit(1)
+		}
+		traceSink = trace.NewWriter(f)
+		r.Tracer = trace.New(traceSink)
+	}
 	start := time.Now()
 	var figs []bench.Figure
 	var err error
@@ -82,10 +100,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "asmbench: %v\n", err)
 		os.Exit(1)
 	}
+	if traceSink != nil {
+		if cerr := traceSink.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "asmbench: trace: %v\n", cerr)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		out, jerr := bench.FiguresJSON(figs)
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "asmbench: %v\n", jerr)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+		return
+	}
 	for _, f := range figs {
 		fmt.Println(f.Table())
 	}
 	fmt.Printf("completed in %v (scale %.2f)\n", time.Since(start).Round(time.Millisecond), *scale)
+	if *traceFile != "" {
+		fmt.Printf("trace written to %s (replay: go run ./cmd/asmtrace %s)\n", *traceFile, *traceFile)
+	}
 }
 
 func one(f bench.Figure, err error) ([]bench.Figure, error) {

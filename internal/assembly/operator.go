@@ -8,6 +8,7 @@ import (
 	"revelation/internal/disk"
 	"revelation/internal/object"
 	"revelation/internal/page"
+	"revelation/internal/trace"
 	"revelation/internal/volcano"
 )
 
@@ -53,6 +54,11 @@ type Options struct {
 	// MaxRefRetries bounds per-reference retries under RetryFaults
 	// before the complex object is quarantined; values < 1 mean 3.
 	MaxRefRetries int
+	// Tracer, when non-nil, receives an assembly event for every window
+	// admission, scheduling decision, fetch, link, emission, abort,
+	// quarantine, retry, and stall. A nil tracer costs one branch per
+	// instrumentation point.
+	Tracer *trace.Tracer
 }
 
 // FaultPolicy is the operator's reaction to a failed component fetch.
@@ -123,6 +129,7 @@ type Operator struct {
 
 	sched     Scheduler
 	shared    *sharedTable
+	tr        *trace.Tracer
 	liveItems int
 	liveSet   map[*workItem]bool
 	inputDone bool
@@ -204,6 +211,7 @@ func (op *Operator) Open() error {
 	if op.Opts.UseSharingStats {
 		op.shared = newSharedTable(op.Store.File.Pool())
 	}
+	op.tr = op.Opts.Tracer
 	op.liveItems = 0
 	op.liveSet = map[*workItem]bool{}
 	op.inputDone = false
@@ -261,7 +269,8 @@ func (op *Operator) Next() (volcano.Item, error) {
 			}
 			continue
 		}
-		ref := op.sched.Next(op.head())
+		head := op.head()
+		ref := op.sched.Next(head)
 		if ref == nil {
 			// All live items' references were consumed but none
 			// completed: impossible unless bookkeeping broke.
@@ -269,6 +278,11 @@ func (op *Operator) Next() (volcano.Item, error) {
 		}
 		if !ref.live() {
 			continue
+		}
+		// The policy decision: which reference the scheduler picked
+		// given the head position — the choice the whole paper is about.
+		if op.tr != nil {
+			op.tr.Assembly(trace.KindChoose, uint64(ref.OID), int64(ref.RID.Page), int64(head), op.sched.Name())
 		}
 		if err := op.resolve(ref); err != nil {
 			return nil, err
@@ -400,14 +414,17 @@ func (op *Operator) admit() error {
 			delete(op.liveSet, item)
 			return nil
 		}
+		op.tr.Assembly(trace.KindAdmit, uint64(v), trace.NoPage, trace.NoPage, "")
 		if err := op.scheduleRef(item, nil, 0, op.Template, v); err != nil {
 			return err
 		}
 	case *object.Object:
+		op.tr.Assembly(trace.KindAdmit, uint64(v.OID), trace.NoPage, trace.NoPage, "")
 		if _, err := op.place(item, nil, 0, op.Template, v, op.pageOf(v.OID)); err != nil {
 			return err
 		}
 	case *Instance:
+		op.tr.Assembly(trace.KindAdmit, uint64(v.OID()), trace.NoPage, trace.NoPage, "")
 		if err := op.adopt(item, v); err != nil {
 			return err
 		}
@@ -417,6 +434,7 @@ func (op *Operator) admit() error {
 			delete(op.liveSet, item)
 			return nil
 		}
+		op.tr.Assembly(trace.KindAdmit, uint64(v.Root), trace.NoPage, trace.NoPage, "")
 		item.pre = v.Sub
 		if err := op.scheduleRef(item, nil, 0, op.Template, v.Root); err != nil {
 			return err
@@ -471,6 +489,11 @@ func (op *Operator) dispatch(refs ...*Ref) {
 	if len(refs) == 0 {
 		return
 	}
+	if op.tr != nil {
+		for _, r := range refs {
+			op.tr.Assembly(trace.KindPend, uint64(r.OID), int64(r.RID.Page), trace.NoPage, "")
+		}
+	}
 	op.sched.Add(refs...)
 	if n := op.sched.Len(); n > op.stats.PeakRefPool {
 		op.stats.PeakRefPool = n
@@ -523,6 +546,13 @@ func (op *Operator) resolve(ref *Ref) error {
 		return op.resolveOne(ref, nil)
 	}
 	batch := append([]*Ref{ref}, op.sched.TakeOnPage(ref.RID.Page)...)
+	if op.tr != nil {
+		// The first ref already traced as the scheduler's choice; the
+		// rest of the batch drained with it on the single page fix.
+		for _, r := range batch[1:] {
+			op.tr.Assembly(trace.KindTake, uint64(r.OID), int64(r.RID.Page), trace.NoPage, "")
+		}
+	}
 	pool := op.Store.File.Pool()
 	fr, err := pool.Fix(ref.RID.Page)
 	if err != nil {
@@ -561,6 +591,7 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 			propagatePending(ref.Parent, -1)
 			op.maybeRegisterShared(ref.Parent)
 			op.stats.SharedLinks++
+			op.tr.Assembly(trace.KindLink, uint64(ref.OID), trace.NoPage, trace.NoPage, "intra")
 			op.settle(item)
 			return nil
 		}
@@ -573,6 +604,7 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 				item.assembled[ref.OID] = inst
 				op.noteFootprint(item, inst.page)
 				op.stats.SharedLinks++
+				op.tr.Assembly(trace.KindLink, uint64(ref.OID), trace.NoPage, trace.NoPage, "window")
 				op.settle(item)
 				return nil
 			}
@@ -584,6 +616,7 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 			delete(item.pre, ref.OID)
 			op.link(item, ref, inst)
 			op.stats.SharedLinks++
+			op.tr.Assembly(trace.KindLink, uint64(ref.OID), trace.NoPage, trace.NoPage, "stacked")
 			// The pre-assembled subtree may itself be partial: walk it
 			// for unresolved references and account its members.
 			if err := op.adoptSubtree(item, inst); err != nil {
@@ -617,6 +650,9 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 		op.stats.PageRequests++
 	}
 	op.stats.Fetched++
+	if op.tr != nil {
+		op.tr.Assembly(trace.KindFetch, uint64(ref.OID), int64(ref.RID.Page), trace.NoPage, "")
+	}
 	op.pinPage(item, ref.RID.Page)
 	inst, err := op.place(item, ref.Parent, ref.Slot, ref.Node, obj, ref.RID.Page)
 	if err != nil {
@@ -656,6 +692,7 @@ func (op *Operator) refFault(ref *Ref, cause error) error {
 		if !op.pressure {
 			op.pressure = true
 			op.stats.WindowStalls++
+			op.tr.Assembly(trace.KindStall, 0, trace.NoPage, trace.NoPage, "")
 		}
 		if err := op.shedPins(); err != nil {
 			return err
@@ -669,6 +706,7 @@ func (op *Operator) refFault(ref *Ref, cause error) error {
 		if disk.Retryable(cause) && ref.Attempts < op.maxRefRetries() {
 			ref.Attempts++
 			op.stats.FaultRetries++
+			op.tr.Assembly(trace.KindRetry, uint64(ref.OID), int64(ref.RID.Page), trace.NoPage, "")
 			item.pending++
 			op.dispatch(ref)
 			return nil
@@ -792,6 +830,7 @@ func (op *Operator) settle(item *workItem) {
 		item.emitted = true
 		op.liveItems--
 		op.stats.Assembled++
+		op.tr.Assembly(trace.KindEmit, uint64(item.root.OID()), trace.NoPage, trace.NoPage, "")
 		delete(op.liveSet, item)
 		op.outq = append(op.outq, item)
 	}
@@ -806,7 +845,17 @@ func (op *Operator) abort(item *workItem) error {
 	item.aborted = true
 	op.liveItems--
 	op.stats.Aborted++
+	op.tr.Assembly(trace.KindAbort, uint64(itemRoot(item)), trace.NoPage, trace.NoPage, "")
 	return op.discard(item)
+}
+
+// itemRoot reports the item's root OID for tracing, or the nil OID when
+// the root was never placed (e.g. a root-level predicate failure).
+func itemRoot(item *workItem) object.OID {
+	if item.root == nil {
+		return object.NilOID
+	}
+	return item.root.OID()
 }
 
 // quarantine poisons one complex object after an unrecoverable fetch
@@ -821,6 +870,7 @@ func (op *Operator) quarantine(item *workItem) error {
 	item.aborted = true
 	op.liveItems--
 	op.stats.Skipped++
+	op.tr.Assembly(trace.KindQuarantine, uint64(itemRoot(item)), trace.NoPage, trace.NoPage, "")
 	return op.discard(item)
 }
 

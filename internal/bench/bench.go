@@ -14,9 +14,11 @@ import (
 	"time"
 
 	"revelation/internal/assembly"
+	"revelation/internal/disk"
 	"revelation/internal/expr"
 	"revelation/internal/gen"
 	"revelation/internal/object"
+	"revelation/internal/trace"
 	"revelation/internal/volcano"
 )
 
@@ -86,6 +88,11 @@ type dbKey struct {
 // contents, device statistics — is reset cold before every run).
 type Runner struct {
 	cache map[dbKey]*gen.Database
+	// Tracer, when non-nil, traces every run: the device, pool, and
+	// operator are instrumented for the duration of the run, bracketed
+	// by bench begin/end markers that carry the run's reported counters
+	// — so a trace replay can verify the run (see trace.Run.Verify).
+	Tracer *trace.Tracer
 }
 
 // NewRunner returns an empty runner.
@@ -149,6 +156,22 @@ func (r *Runner) Run(e Experiment) (Result, error) {
 	for i, root := range db.Roots {
 		items[i] = root
 	}
+	// Instrument the stack for the run's duration; detaching afterwards
+	// keeps cached databases trace-free between runs.
+	sched := e.Scheduler.String()
+	if e.PredicateFirst {
+		sched = "predicate-first/" + sched
+	}
+	runName := fmt.Sprintf("%s/%s/w%d/db%d", e.Name, sched, e.Window, e.DBSize)
+	if r.Tracer != nil {
+		disk.AttachTracer(db.Device, r.Tracer)
+		db.Pool.SetTracer(r.Tracer)
+		r.Tracer.BeginRun(runName, e.Window)
+		defer func() {
+			disk.AttachTracer(db.Device, nil)
+			db.Pool.SetTracer(nil)
+		}()
+	}
 	op := assembly.New(volcano.NewSlice(items), db.Store, tmpl, assembly.Options{
 		Window:          e.Window,
 		Scheduler:       e.Scheduler,
@@ -156,6 +179,7 @@ func (r *Runner) Run(e Experiment) (Result, error) {
 		PredicateFirst:  e.PredicateFirst,
 		PinWindowPages:  e.PinWindow,
 		PageBatch:       e.PageBatch,
+		Tracer:          r.Tracer,
 	})
 	start := time.Now()
 	n, err := volcano.Count(op)
@@ -169,6 +193,19 @@ func (r *Runner) Run(e Experiment) (Result, error) {
 
 	dev := db.Device.Stats()
 	poolStats := db.Pool.Stats()
+	if r.Tracer != nil {
+		st := op.Stats()
+		r.Tracer.EndRun(runName, trace.RunStats{
+			Reads:     dev.Reads,
+			SeekReads: dev.SeekReads,
+			SeekTotal: dev.SeekTotal,
+			Assembled: st.Assembled,
+			Aborted:   st.Aborted,
+			Skipped:   st.Skipped,
+			Retries:   st.FaultRetries,
+			Stalls:    st.WindowStalls,
+		})
+	}
 	return Result{
 		Experiment:   e,
 		AvgSeek:      dev.AvgSeekPerRead(),

@@ -1,34 +1,38 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
 	"revelation/internal/assembly"
 	"revelation/internal/disk"
 	"revelation/internal/gen"
+	"revelation/internal/trace"
 	"revelation/internal/volcano"
 )
 
-// Series is one labelled line of a figure.
+// Series is one labelled line of a figure. The JSON tags define the
+// asmbench -json schema; field order is the struct order and is part of
+// the golden-tested contract — append new fields at the end.
 type Series struct {
-	Label string
-	X     []float64
-	Y     []float64
+	Label string    `json:"label"`
+	X     []float64 `json:"x"`
+	Y     []float64 `json:"y"`
 	// Extra carries a secondary metric per point (e.g. total reads)
 	// when a figure's discussion references one; may be nil.
-	Extra []float64
+	Extra []float64 `json:"extra,omitempty"`
 }
 
 // Figure is a reproduced paper figure: a set of series over a shared
 // x-axis.
 type Figure struct {
-	ID     string
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
-	Notes  []string
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label"`
+	YLabel string   `json:"y_label"`
+	Series []Series `json:"series"`
+	Notes  []string `json:"notes,omitempty"`
 }
 
 // Table renders the figure as an aligned text table (x down the rows,
@@ -59,6 +63,17 @@ func (f Figure) Table() string {
 	}
 	fmt.Fprintf(&b, "  (y: %s)\n", f.YLabel)
 	return b.String()
+}
+
+// FiguresJSON renders figures as deterministic, indented JSON: field
+// order follows the struct declarations and a seeded run produces the
+// same bytes every time, which is what the golden-file test pins down.
+func FiguresJSON(figs []Figure) ([]byte, error) {
+	out, err := json.MarshalIndent(figs, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
 }
 
 // Scale shrinks database sizes for quick runs; 1.0 is paper scale.
@@ -388,15 +403,30 @@ func (r *Runner) MultiDevice(scale float64) (Figure, error) {
 			for i, root := range db.Roots {
 				items[i] = root
 			}
-			opts := assembly.Options{Window: 50, Scheduler: assembly.Elevator}
+			opts := assembly.Options{Window: 50, Scheduler: assembly.Elevator, Tracer: r.Tracer}
 			if v.multi {
 				opts.CustomScheduler = assembly.NewMultiElevator(n, striped.DeviceOf)
+			}
+			if r.Tracer != nil {
+				disk.AttachTracer(striped, r.Tracer)
+				db.Pool.SetTracer(r.Tracer)
+				r.Tracer.BeginRun(fmt.Sprintf("multi-device/%s/n%d", v.label, n), 50)
 			}
 			op := assembly.New(volcano.NewSlice(items), db.Store, db.Template, opts)
 			if _, err := volcano.Count(op); err != nil {
 				return Figure{}, err
 			}
 			st := striped.Stats()
+			if r.Tracer != nil {
+				r.Tracer.EndRun(fmt.Sprintf("multi-device/%s/n%d", v.label, n), trace.RunStats{
+					Reads:     st.Reads,
+					SeekReads: st.SeekReads,
+					SeekTotal: st.SeekTotal,
+					Assembled: op.Stats().Assembled,
+				})
+				disk.AttachTracer(striped, nil)
+				db.Pool.SetTracer(nil)
+			}
 			s.X = append(s.X, float64(n))
 			s.Y = append(s.Y, st.AvgSeekPerRead())
 		}
@@ -515,21 +545,47 @@ func (r *Runner) FigFaults(scale float64, opts FaultOptions) (Figure, error) {
 			if err := db.Pool.EvictAll(); err != nil {
 				return Figure{}, err
 			}
+			// Per-point cold start so the end-of-run marker reports the
+			// point's own device counters, not the sweep's running total.
+			fd.ResetStats()
+			fd.ResetHead()
 			fd.SetConfig(disk.FaultConfig{
 				Seed:              opts.Seed,
 				TransientRate:     f * opts.Transient,
 				TransientFailures: 2,
 				PermanentRate:     f * opts.Permanent,
 			})
+			runName := fmt.Sprintf("faults/%s/t%.3f", p.label, f*opts.Transient)
+			if r.Tracer != nil {
+				disk.AttachTracer(fd, r.Tracer)
+				db.Pool.SetTracer(r.Tracer)
+				r.Tracer.BeginRun(runName, 50)
+			}
 			op := assembly.New(volcano.NewSlice(items), db.Store, db.Template, assembly.Options{
 				Window:      50,
 				Scheduler:   assembly.Elevator,
 				FaultPolicy: p.fp,
+				Tracer:      r.Tracer,
 			})
 			if _, err := volcano.Count(op); err != nil {
 				return Figure{}, err
 			}
 			st := op.Stats()
+			if r.Tracer != nil {
+				dst := fd.Stats()
+				r.Tracer.EndRun(runName, trace.RunStats{
+					Reads:     dst.Reads,
+					SeekReads: dst.SeekReads,
+					SeekTotal: dst.SeekTotal,
+					Assembled: st.Assembled,
+					Aborted:   st.Aborted,
+					Skipped:   st.Skipped,
+					Retries:   st.FaultRetries,
+					Stalls:    st.WindowStalls,
+				})
+				disk.AttachTracer(fd, nil)
+				db.Pool.SetTracer(nil)
+			}
 			s.X = append(s.X, 100*f*opts.Transient)
 			s.Y = append(s.Y, 100*float64(st.Assembled)/float64(len(db.Roots)))
 			if p.fp == assembly.RetryFaults {

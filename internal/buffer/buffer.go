@@ -16,8 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"revelation/internal/disk"
+	"revelation/internal/trace"
 )
 
 // Common errors.
@@ -97,6 +99,7 @@ type Pool struct {
 	hand   int
 	retry  disk.RetryPolicy
 	stats  Stats
+	tr     *trace.Tracer
 	closed bool
 }
 
@@ -138,6 +141,16 @@ func (p *Pool) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats = Stats{}
+}
+
+// SetTracer installs an event tracer on the pool: every hit, miss
+// (device read), eviction, flush, and unfix emits a buffer event, and
+// fix latencies feed the tracer's in-memory histograms. Pass nil to
+// disable tracing; the disabled hot path pays one branch.
+func (p *Pool) SetTracer(t *trace.Tracer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tr = t
 }
 
 // SetRetry installs a retry-with-backoff policy on the pool's device
@@ -196,12 +209,20 @@ func (p *Pool) Fix(id disk.PageID) (*Frame, error) {
 		return nil, ErrPoolClosed
 	}
 	p.tick++
+	var start time.Time
+	if p.tr != nil {
+		start = time.Now()
+	}
 	if f, ok := p.table[id]; ok {
 		f.pins++
 		f.hot = true
 		f.stamp = p.tick
 		p.stats.Hits++
 		p.notePins()
+		if p.tr != nil {
+			p.tr.Buffer(trace.KindHit, int64(id), 0)
+			p.tr.Observe("buffer/hit", time.Since(start))
+		}
 		return f, nil
 	}
 	f, err := p.victimLocked()
@@ -222,6 +243,10 @@ func (p *Pool) Fix(id disk.PageID) (*Frame, error) {
 	p.table[id] = f
 	p.stats.Faults++
 	p.notePins()
+	if p.tr != nil {
+		p.tr.Buffer(trace.KindMiss, int64(id), 0)
+		p.tr.Observe("buffer/miss", time.Since(start))
+	}
 	return f, nil
 }
 
@@ -293,6 +318,12 @@ func (p *Pool) victimLocked() (*Frame, error) {
 			return nil, err
 		}
 		p.stats.Flushes++
+		if p.tr != nil {
+			p.tr.Buffer(trace.KindFlush, int64(victim.id), 0)
+		}
+	}
+	if p.tr != nil {
+		p.tr.Buffer(trace.KindEvict, int64(victim.id), 0)
 	}
 	delete(p.table, victim.id)
 	victim.id = disk.InvalidPage
@@ -351,6 +382,13 @@ func (p *Pool) Unfix(f *Frame, setDirty bool) error {
 	if setDirty {
 		f.dirty = true
 	}
+	if p.tr != nil {
+		dirty := int64(0)
+		if setDirty {
+			dirty = 1
+		}
+		p.tr.Buffer(trace.KindUnfix, int64(f.id), dirty)
+	}
 	return nil
 }
 
@@ -391,6 +429,9 @@ func (p *Pool) flushLocked() error {
 		}
 		f.dirty = false
 		p.stats.Flushes++
+		if p.tr != nil {
+			p.tr.Buffer(trace.KindFlush, int64(f.id), 0)
+		}
 	}
 	return nil
 }

@@ -14,6 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"revelation/internal/trace"
 )
 
 // PageID addresses a page on a device. Pages are numbered from zero.
@@ -83,6 +86,22 @@ type Device interface {
 // Returning a non-nil error aborts the access.
 type FaultFunc func(p PageID, write bool) error
 
+// TracerSetter is implemented by devices that accept an event tracer.
+// Wrapper devices forward the tracer to the devices they wrap.
+type TracerSetter interface {
+	SetTracer(t *trace.Tracer)
+}
+
+// AttachTracer installs t on dev when the device supports tracing
+// (pass nil to detach). It reports whether the device accepted it.
+func AttachTracer(dev Device, t *trace.Tracer) bool {
+	if ts, ok := dev.(TracerSetter); ok {
+		ts.SetTracer(t)
+		return true
+	}
+	return false
+}
+
 // Sim is the standard simulated device backed by an in-memory page
 // store. It implements Device.
 type Sim struct {
@@ -92,6 +111,7 @@ type Sim struct {
 	head     PageID
 	stats    Stats
 	fault    FaultFunc
+	tr       *trace.Tracer
 	closed   bool
 }
 
@@ -119,8 +139,19 @@ func (d *Sim) SetFault(f FaultFunc) {
 	d.fault = f
 }
 
-// seekTo moves the head to p and accounts the distance. Caller holds mu.
-func (d *Sim) seekTo(p PageID, read bool) {
+// SetTracer implements TracerSetter: every subsequent physical access
+// emits a disk event carrying the head position before the access and
+// the seek distance it cost. Pass nil to disable tracing; the disabled
+// hot path pays one branch.
+func (d *Sim) SetTracer(t *trace.Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tr = t
+}
+
+// seekTo moves the head to p, accounts the distance, and returns it.
+// Caller holds mu.
+func (d *Sim) seekTo(p PageID, read bool) int64 {
 	var dist int64
 	if p >= d.head {
 		dist = int64(p - d.head)
@@ -135,6 +166,7 @@ func (d *Sim) seekTo(p PageID, read bool) {
 		d.stats.MaxSeek = dist
 	}
 	d.head = p
+	return dist
 }
 
 // ReadPage implements Device.
@@ -154,6 +186,16 @@ func (d *Sim) ReadPage(p PageID, buf []byte) error {
 		if err := d.fault(p, false); err != nil {
 			return err
 		}
+	}
+	if d.tr != nil {
+		start := time.Now()
+		prev := d.head
+		dist := d.seekTo(p, true)
+		d.stats.Reads++
+		copy(buf, d.pages[p])
+		d.tr.Disk(trace.KindRead, int64(p), int64(prev), dist)
+		d.tr.Observe("disk/read", time.Since(start))
+		return nil
 	}
 	d.seekTo(p, true)
 	d.stats.Reads++
@@ -178,6 +220,16 @@ func (d *Sim) WritePage(p PageID, buf []byte) error {
 		if err := d.fault(p, true); err != nil {
 			return err
 		}
+	}
+	if d.tr != nil {
+		start := time.Now()
+		prev := d.head
+		dist := d.seekTo(p, false)
+		d.stats.Writes++
+		copy(d.pages[p], buf)
+		d.tr.Disk(trace.KindWrite, int64(p), int64(prev), dist)
+		d.tr.Observe("disk/write", time.Since(start))
+		return nil
 	}
 	d.seekTo(p, false)
 	d.stats.Writes++

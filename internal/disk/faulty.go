@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"revelation/internal/trace"
 )
 
 // FaultConfig parameterizes deterministic fault injection. All
@@ -56,6 +58,7 @@ type Faulty struct {
 	// still owes before it recovers.
 	remaining map[PageID]int
 	stats     FaultStats
+	tr        *trace.Tracer
 }
 
 // NewFaulty wraps dev with the given fault configuration.
@@ -65,6 +68,16 @@ func NewFaulty(dev Device, cfg FaultConfig) *Faulty {
 
 // Inner returns the wrapped device.
 func (f *Faulty) Inner() Device { return f.dev }
+
+// SetTracer implements TracerSetter: injected faults emit disk fault
+// events, and the tracer is forwarded to the wrapped device so real
+// accesses trace too.
+func (f *Faulty) SetTracer(t *trace.Tracer) {
+	f.mu.Lock()
+	f.tr = t
+	f.mu.Unlock()
+	AttachTracer(f.dev, t)
+}
 
 // SetConfig re-arms the injector, resetting transient failure budgets
 // and counters. Arming with the zero FaultConfig disarms it.
@@ -139,9 +152,11 @@ func (f *Faulty) inject(p PageID, write bool) error {
 		delay = f.cfg.Latency
 	}
 	var err error
+	var class string
 	switch {
 	case f.permanentLocked(p):
 		f.stats.Permanent++
+		class = "permanent"
 		err = fmt.Errorf("%w: page %d", ErrPermanent, p)
 	case f.transientLocked(p):
 		left, seen := f.remaining[p]
@@ -154,10 +169,15 @@ func (f *Faulty) inject(p PageID, write bool) error {
 		if left > 0 {
 			f.remaining[p] = left - 1
 			f.stats.Transient++
+			class = "transient"
 			err = fmt.Errorf("%w: page %d", ErrTransient, p)
 		}
 	}
+	tr := f.tr
 	f.mu.Unlock()
+	if class != "" {
+		tr.DiskFault(int64(p), class)
+	}
 	// Sleep outside the lock so a latency spike on one page does not
 	// stall concurrent accesses to others.
 	if delay > 0 {

@@ -3,6 +3,8 @@ package disk
 import (
 	"fmt"
 	"sync"
+
+	"revelation/internal/trace"
 )
 
 // Striped is a Device composed of several sub-devices with round-robin
@@ -44,6 +46,15 @@ func NewStriped(devs []Device, unit int) (*Striped, error) {
 
 // Devices exposes the sub-devices (for per-device statistics).
 func (s *Striped) Devices() []Device { return s.devs }
+
+// SetTracer implements TracerSetter by forwarding the tracer to every
+// arm: traced pages and heads are arm-local, which is the physically
+// meaningful view (each arm moves independently).
+func (s *Striped) SetTracer(t *trace.Tracer) {
+	for _, d := range s.devs {
+		AttachTracer(d, t)
+	}
+}
 
 // DeviceOf reports which sub-device a global page lives on — the
 // routing the multi-device elevator scheduler needs.

@@ -1,0 +1,115 @@
+package volcano
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// want, or the deadline passes. Producer teardown is asynchronous with
+// Close returning, so a single instantaneous sample would flake.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines did not drain: %d > %d\n%s", n, want, buf)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestExchangeEarlyCloseDrainsProducers is the regression test for the
+// early-close leak: a consumer that stops after the first item must not
+// strand producer goroutines blocked on the exchange queue. With a
+// queue shorter than the input, producers are guaranteed to be parked
+// in send when Close runs.
+func TestExchangeEarlyCloseDrainsProducers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	items := make([]Item, 1000)
+	for i := range items {
+		items[i] = i
+	}
+	parts := PartitionSlice(items, 8)
+	ex := NewExchange(8, func(part int) (Iterator, error) {
+		return NewSlice(parts[part]), nil
+	})
+	ex.QueueLen = 1 // force producers to block mid-stream
+	if err := ex.Open(); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := ex.Next(); err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	// Consumer walks away after one of 1000 items.
+	if err := ex.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	waitGoroutines(t, before)
+
+	// Close must be idempotent and Next must refuse a closed exchange.
+	if err := ex.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := ex.Next(); err != ErrNotOpen {
+		t.Fatalf("Next after Close: %v, want ErrNotOpen", err)
+	}
+}
+
+// TestExchangeReopenAfterEarlyClose confirms the exchange is reusable:
+// a full drain after an early-closed run sees every item exactly once.
+func TestExchangeReopenAfterEarlyClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	items := make([]Item, 100)
+	for i := range items {
+		items[i] = i
+	}
+	parts := PartitionSlice(items, 4)
+	ex := NewExchange(4, func(part int) (Iterator, error) {
+		return NewSlice(parts[part]), nil
+	})
+	ex.QueueLen = 1
+	if err := ex.Open(); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := ex.Next(); err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if err := ex.Open(); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	seen := map[int]bool{}
+	for {
+		item, err := ex.Next()
+		if err == Done {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		v := item.(int)
+		if seen[v] {
+			t.Fatalf("item %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("drained %d items, want 100", len(seen))
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	waitGoroutines(t, before)
+}
