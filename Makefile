@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race bench figures trace-demo examples cover clean
+.PHONY: all check build vet test test-race race-core bench figures trace-demo serve-demo examples cover clean
 
 all: check
 
-# The full gate: everything CI would run.
-check: build vet test test-race
+# The fast gate: what CI's main job runs on every push.
+check: build vet test
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# The concurrency-sensitive packages under the race detector — the
+# layers a live metrics scraper reads while workers mutate (CI's
+# second job; test-race covers everything but takes much longer).
+race-core:
+	$(GO) test -race ./internal/trace ./internal/metrics ./internal/buffer ./internal/volcano ./internal/serve
 
 # One testing.B bench per paper figure at the repo root, plus the
 # substrate micro-benchmarks in each package.
@@ -33,6 +39,11 @@ figures:
 trace-demo:
 	$(GO) run ./cmd/asmbench -figure fig13c -scale 0.1 -trace trace.jsonl
 	$(GO) run ./cmd/asmtrace trace.jsonl
+
+# Live observability demo: run the faulty workload in a loop with
+# /metrics, /statusz, and pprof served on :8091.
+serve-demo:
+	$(GO) run ./cmd/asmserve -figure faults -scale 0.3
 
 examples:
 	$(GO) run ./examples/quickstart

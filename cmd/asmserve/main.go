@@ -1,0 +1,144 @@
+// Command asmserve runs a benchmark workload in a loop while exposing
+// it for live inspection:
+//
+//	GET /metrics       Prometheus text exposition of every counter
+//	GET /statusz       human-readable snapshot with occupancy sparkline
+//	GET /debug/pprof/  standard Go profiler endpoints
+//
+// Usage:
+//
+//	asmserve [-addr :8091] [-figure faults|fig13c|...] [-scale 0.5]
+//	         [-interval 1s] [-once]
+//
+// The workload is one of asmbench's figures, re-run every -interval
+// until the process is interrupted (-once stops after a single pass).
+// Device, pool, and operator counters are registered in a shared
+// metrics registry and never reset, so scrapes observe monotone
+// counters; per-run numbers are snapshot deltas (see DESIGN.md §9).
+//
+//	curl -s localhost:8091/metrics | grep asm_disk
+//	go tool pprof http://localhost:8091/debug/pprof/profile?seconds=5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"revelation/internal/bench"
+	"revelation/internal/metrics"
+	"revelation/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8091", "HTTP listen address")
+	figure := flag.String("figure", "faults", "figure id to run as the workload (see asmbench -figure)")
+	scale := flag.Float64("scale", 0.5, "database size scale factor")
+	interval := flag.Duration("interval", time.Second, "pause between workload passes")
+	once := flag.Bool("once", false, "run the workload a single time, then keep serving")
+	flag.Parse()
+
+	reg := metrics.NewRegistry()
+	runner := bench.NewRunner()
+	runner.Metrics = reg
+
+	run, err := workload(runner, *figure)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Options{
+		Registry: reg,
+		// The sum over policies is the live total: at most one policy's
+		// operator is mid-run at a time in this single-threaded loop.
+		Occupancy: func() int64 {
+			return reg.Snapshot().Sum("asm_assembly_window_occupancy")
+		},
+		Info: []string{
+			fmt.Sprintf("workload: figure %s, scale %.2f, interval %v", *figure, *scale, *interval),
+		},
+	})
+	srv.Start()
+	defer srv.Stop()
+
+	passCounter := reg.Counter("asm_serve_workload_passes_total", "Completed workload passes.")
+	errCounter := reg.Counter("asm_serve_workload_errors_total", "Failed workload passes.")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	go func() {
+		for {
+			if err := run(*scale); err != nil {
+				errCounter.Inc()
+				fmt.Fprintf(os.Stderr, "asmserve: workload: %v\n", err)
+			} else {
+				passCounter.Inc()
+			}
+			if *once {
+				return
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(*interval):
+			}
+		}
+	}()
+
+	fmt.Printf("asmserve: listening on %s (figure %s, scale %.2f)\n", *addr, *figure, *scale)
+	fmt.Printf("asmserve: try curl -s localhost%s/metrics | grep asm_\n", *addr)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		<-stop
+		httpSrv.Close()
+	}()
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// workload maps a figure id to a closure running it once.
+func workload(r *bench.Runner, figure string) (func(scale float64) error, error) {
+	fig := func(f func(float64) (bench.Figure, error)) func(float64) error {
+		return func(s float64) error { _, err := f(s); return err }
+	}
+	switch strings.ToLower(figure) {
+	case "fig14":
+		return fig(r.Fig14), nil
+	case "fig15":
+		return fig(r.Fig15), nil
+	case "fig16":
+		return fig(r.Fig16), nil
+	case "footprint":
+		return fig(r.WindowFootprint), nil
+	case "buffer-window":
+		return fig(r.BufferWindow), nil
+	case "multi-device", "multidev":
+		return fig(r.MultiDevice), nil
+	case "page-batch", "pagebatch":
+		return fig(r.PageBatch), nil
+	case "faults":
+		return func(s float64) error {
+			_, err := r.FigFaults(s, bench.DefaultFaultOptions)
+			return err
+		}, nil
+	case "fig11a", "fig11b", "fig11c", "fig13a", "fig13b", "fig13c":
+		w := 1
+		if figure[3] == '3' {
+			w = 50
+		}
+		sub := figure[len(figure)-1]
+		return func(s float64) error {
+			_, err := r.FigScheduling(w, sub, s)
+			return err
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown figure %q (see asmbench -figure)", figure)
+	}
+}

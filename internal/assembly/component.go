@@ -48,6 +48,7 @@ func (ci componentIterator) discover(item *workItem, root *Instance, deep, abort
 			oid := in.Object.Refs[ct.RefField]
 			if oid.IsNil() {
 				ci.op.stats.NilRefs++
+				ci.op.cells.nilRefs.Inc()
 				if abortOnRequiredNil && ct.Required {
 					aborted = true
 					return

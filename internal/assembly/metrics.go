@@ -1,0 +1,49 @@
+package assembly
+
+import "revelation/internal/metrics"
+
+// opCells mirrors the operator's per-run Stats into registry cells so a
+// live scrape sees assembly progress. The per-run stats struct stays
+// the source of truth for exactness (parallel clones each keep their
+// own); the cells are get-or-create per policy label, so counters
+// accumulate monotonically across runs and clones while Snapshot deltas
+// recover any single run's activity.
+type opCells struct {
+	assembled      *metrics.Counter
+	aborted        *metrics.Counter
+	resolved       *metrics.Counter
+	fetched        *metrics.Counter
+	pageRequests   *metrics.Counter
+	sharedLinks    *metrics.Counter
+	predicateFails *metrics.Counter
+	nilRefs        *metrics.Counter
+	skipped        *metrics.Counter
+	faultRetries   *metrics.Counter
+	windowStalls   *metrics.Counter
+
+	occupancy   *metrics.Gauge // live complex objects in the window
+	refPool     *metrics.Gauge // unresolved references queued
+	windowPages *metrics.Gauge // distinct pages backing the window
+}
+
+// newOpCells builds the operator's cells against r, labeled by
+// scheduling policy. A nil registry yields detached cells (metrics off),
+// so instrumentation sites never branch.
+func newOpCells(r *metrics.Registry, policy string) *opCells {
+	return &opCells{
+		assembled:      r.Counter("asm_assembly_assembled_total", "Complex objects emitted.", "policy", policy),
+		aborted:        r.Counter("asm_assembly_aborted_total", "Complex objects abandoned by a predicate.", "policy", policy),
+		resolved:       r.Counter("asm_assembly_resolved_total", "References resolved (fetches plus shared links).", "policy", policy),
+		fetched:        r.Counter("asm_assembly_fetched_total", "Objects materialized from storage.", "policy", policy),
+		pageRequests:   r.Counter("asm_assembly_page_requests_total", "Buffer requests issued for fetches.", "policy", policy),
+		sharedLinks:    r.Counter("asm_assembly_shared_links_total", "References satisfied from assembled instances.", "policy", policy),
+		predicateFails: r.Counter("asm_assembly_predicate_fails_total", "Predicate evaluations that rejected an object.", "policy", policy),
+		nilRefs:        r.Counter("asm_assembly_nil_refs_total", "References that were the nil OID.", "policy", policy),
+		skipped:        r.Counter("asm_assembly_skipped_total", "Complex objects quarantined by I/O faults.", "policy", policy),
+		faultRetries:   r.Counter("asm_assembly_fault_retries_total", "Reference fetches re-queued after transient faults.", "policy", policy),
+		windowStalls:   r.Counter("asm_assembly_window_stalls_total", "Admission pauses forced by buffer exhaustion.", "policy", policy),
+		occupancy:      r.Gauge("asm_assembly_window_occupancy", "Complex objects currently in the window.", "policy", policy),
+		refPool:        r.Gauge("asm_assembly_ref_pool", "Unresolved references currently queued.", "policy", policy),
+		windowPages:    r.Gauge("asm_assembly_window_pages", "Distinct pages backing the window.", "policy", policy),
+	}
+}

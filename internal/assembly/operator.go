@@ -6,6 +6,7 @@ import (
 
 	"revelation/internal/buffer"
 	"revelation/internal/disk"
+	"revelation/internal/metrics"
 	"revelation/internal/object"
 	"revelation/internal/page"
 	"revelation/internal/trace"
@@ -59,6 +60,12 @@ type Options struct {
 	// quarantine, retry, and stall. A nil tracer costs one branch per
 	// instrumentation point.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives the operator's counters and live
+	// gauges under asm_assembly_* families labeled by scheduling policy.
+	// The per-run Stats struct is mirrored into the registry's cells, so
+	// counters accumulate monotonically across runs while Stats stays
+	// per-run exact.
+	Metrics *metrics.Registry
 }
 
 // FaultPolicy is the operator's reaction to a failed component fetch.
@@ -136,6 +143,7 @@ type Operator struct {
 	outq      []*workItem
 	footprint map[disk.PageID]int
 	stats     Stats
+	cells     *opCells
 	open      bool
 	// pressure marks buffer exhaustion: admission pauses (the
 	// effective window shrinks) until pins drain at the next emission
@@ -218,6 +226,8 @@ func (op *Operator) Open() error {
 	op.outq = nil
 	op.footprint = map[disk.PageID]int{}
 	op.stats = Stats{}
+	op.cells = newOpCells(op.Opts.Metrics, op.sched.Name())
+	op.cells.occupancy.Set(0)
 	op.pressure = false
 	op.stall = 0
 	if err := op.Input.Open(); err != nil {
@@ -406,11 +416,13 @@ func (op *Operator) admit() error {
 	// Count the slot live up front so an abort during admission (a
 	// root-level predicate failure) balances the books.
 	op.liveItems++
+	op.cells.occupancy.Set(int64(op.liveItems))
 	op.liveSet[item] = true
 	switch v := raw.(type) {
 	case object.OID:
 		if v.IsNil() {
 			op.liveItems-- // nil root: nothing to assemble
+			op.cells.occupancy.Set(int64(op.liveItems))
 			delete(op.liveSet, item)
 			return nil
 		}
@@ -431,6 +443,7 @@ func (op *Operator) admit() error {
 	case PartialRoot:
 		if v.Root.IsNil() {
 			op.liveItems--
+			op.cells.occupancy.Set(int64(op.liveItems))
 			delete(op.liveSet, item)
 			return nil
 		}
@@ -441,6 +454,7 @@ func (op *Operator) admit() error {
 		}
 	default:
 		op.liveItems--
+		op.cells.occupancy.Set(int64(op.liveItems))
 		delete(op.liveSet, item)
 		return fmt.Errorf("assembly: unsupported input item type %T", raw)
 	}
@@ -495,7 +509,9 @@ func (op *Operator) dispatch(refs ...*Ref) {
 		}
 	}
 	op.sched.Add(refs...)
-	if n := op.sched.Len(); n > op.stats.PeakRefPool {
+	n := op.sched.Len()
+	op.cells.refPool.Set(int64(n))
+	if n > op.stats.PeakRefPool {
 		op.stats.PeakRefPool = n
 	}
 }
@@ -559,6 +575,7 @@ func (op *Operator) resolve(ref *Ref) error {
 		return op.batchFault(batch, fmt.Errorf("assembly: fix page %d: %w", ref.RID.Page, err))
 	}
 	op.stats.PageRequests++
+	op.cells.pageRequests.Inc()
 	pg := page.Wrap(fr.Data())
 	for _, r := range batch {
 		if !r.live() {
@@ -581,6 +598,8 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 	item := ref.Item
 	item.pending--
 	op.stats.Resolved++
+	op.cells.resolved.Inc()
+	op.cells.refPool.Set(int64(op.sched.Len()))
 
 	// 1. Already assembled within this complex object (intra-object
 	// sharing)? Only shared template nodes pay the lookup, exactly as
@@ -591,6 +610,7 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 			propagatePending(ref.Parent, -1)
 			op.maybeRegisterShared(ref.Parent)
 			op.stats.SharedLinks++
+			op.cells.sharedLinks.Inc()
 			op.tr.Assembly(trace.KindLink, uint64(ref.OID), trace.NoPage, trace.NoPage, "intra")
 			op.settle(item)
 			return nil
@@ -604,6 +624,7 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 				item.assembled[ref.OID] = inst
 				op.noteFootprint(item, inst.page)
 				op.stats.SharedLinks++
+				op.cells.sharedLinks.Inc()
 				op.tr.Assembly(trace.KindLink, uint64(ref.OID), trace.NoPage, trace.NoPage, "window")
 				op.settle(item)
 				return nil
@@ -616,6 +637,7 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 			delete(item.pre, ref.OID)
 			op.link(item, ref, inst)
 			op.stats.SharedLinks++
+			op.cells.sharedLinks.Inc()
 			op.tr.Assembly(trace.KindLink, uint64(ref.OID), trace.NoPage, trace.NoPage, "stacked")
 			// The pre-assembled subtree may itself be partial: walk it
 			// for unresolved references and account its members.
@@ -648,8 +670,10 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 			return op.refFault(ref, fmt.Errorf("assembly: fetch %v: %w", ref.OID, err))
 		}
 		op.stats.PageRequests++
+		op.cells.pageRequests.Inc()
 	}
 	op.stats.Fetched++
+	op.cells.fetched.Inc()
 	if op.tr != nil {
 		op.tr.Assembly(trace.KindFetch, uint64(ref.OID), int64(ref.RID.Page), trace.NoPage, "")
 	}
@@ -692,6 +716,7 @@ func (op *Operator) refFault(ref *Ref, cause error) error {
 		if !op.pressure {
 			op.pressure = true
 			op.stats.WindowStalls++
+			op.cells.windowStalls.Inc()
 			op.tr.Assembly(trace.KindStall, 0, trace.NoPage, trace.NoPage, "")
 		}
 		if err := op.shedPins(); err != nil {
@@ -706,6 +731,7 @@ func (op *Operator) refFault(ref *Ref, cause error) error {
 		if disk.Retryable(cause) && ref.Attempts < op.maxRefRetries() {
 			ref.Attempts++
 			op.stats.FaultRetries++
+			op.cells.faultRetries.Inc()
 			op.tr.Assembly(trace.KindRetry, uint64(ref.OID), int64(ref.RID.Page), trace.NoPage, "")
 			item.pending++
 			op.dispatch(ref)
@@ -762,6 +788,7 @@ func (op *Operator) place(item *workItem, parent *Instance, slot int, node *Temp
 	// selection predicate" (Section 4).
 	if node.Pred != nil && !node.Pred.Eval(obj) {
 		op.stats.PredicateFails++
+		op.cells.predicateFails.Inc()
 		return nil, op.abort(item)
 	}
 	op.link(item, &Ref{Parent: parent, Slot: slot, Item: item}, inst)
@@ -829,7 +856,9 @@ func (op *Operator) settle(item *workItem) {
 	if item.pending == 0 && item.root != nil {
 		item.emitted = true
 		op.liveItems--
+		op.cells.occupancy.Set(int64(op.liveItems))
 		op.stats.Assembled++
+		op.cells.assembled.Inc()
 		op.tr.Assembly(trace.KindEmit, uint64(item.root.OID()), trace.NoPage, trace.NoPage, "")
 		delete(op.liveSet, item)
 		op.outq = append(op.outq, item)
@@ -844,7 +873,9 @@ func (op *Operator) abort(item *workItem) error {
 	}
 	item.aborted = true
 	op.liveItems--
+	op.cells.occupancy.Set(int64(op.liveItems))
 	op.stats.Aborted++
+	op.cells.aborted.Inc()
 	op.tr.Assembly(trace.KindAbort, uint64(itemRoot(item)), trace.NoPage, trace.NoPage, "")
 	return op.discard(item)
 }
@@ -869,7 +900,9 @@ func (op *Operator) quarantine(item *workItem) error {
 	}
 	item.aborted = true
 	op.liveItems--
+	op.cells.occupancy.Set(int64(op.liveItems))
 	op.stats.Skipped++
+	op.cells.skipped.Inc()
 	op.tr.Assembly(trace.KindQuarantine, uint64(itemRoot(item)), trace.NoPage, trace.NoPage, "")
 	return op.discard(item)
 }
@@ -891,7 +924,9 @@ func (op *Operator) noteFootprint(item *workItem, pg disk.PageID) {
 	}
 	item.pages[pg] = true
 	op.footprint[pg]++
-	if n := len(op.footprint); n > op.stats.PeakWindowPgs {
+	n := len(op.footprint)
+	op.cells.windowPages.Set(int64(n))
+	if n > op.stats.PeakWindowPgs {
 		op.stats.PeakWindowPgs = n
 	}
 }
@@ -903,6 +938,7 @@ func (op *Operator) releaseFootprint(item *workItem) {
 			delete(op.footprint, pg)
 		}
 	}
+	op.cells.windowPages.Set(int64(len(op.footprint)))
 	item.pages = map[disk.PageID]bool{}
 }
 

@@ -17,6 +17,7 @@ import (
 	"revelation/internal/disk"
 	"revelation/internal/expr"
 	"revelation/internal/gen"
+	"revelation/internal/metrics"
 	"revelation/internal/object"
 	"revelation/internal/trace"
 	"revelation/internal/volcano"
@@ -93,6 +94,12 @@ type Runner struct {
 	// by bench begin/end markers that carry the run's reported counters
 	// — so a trace replay can verify the run (see trace.Run.Verify).
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, registers every database's device and pool
+	// and the assembly operator into the registry. Device and pool
+	// counters are never reset between runs — the harness reports
+	// per-run deltas via Stats().Sub — so a concurrent scraper always
+	// sees monotone counters.
+	Metrics *metrics.Registry
 }
 
 // NewRunner returns an empty runner.
@@ -113,6 +120,11 @@ func (r *Runner) database(e Experiment) (*gen.Database, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.Metrics != nil {
+		label := fmt.Sprintf("db%d-%s", e.DBSize, e.Clustering)
+		disk.RegisterMetrics(db.Device, r.Metrics, label)
+		db.Pool.RegisterMetrics(r.Metrics, label)
+	}
 	r.cache[key] = db
 	return db, nil
 }
@@ -129,13 +141,16 @@ func (r *Runner) Run(e Experiment) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	// Cold start: empty pool, zeroed counters, head parked at 0 so
-	// repeated runs are bit-for-bit reproducible.
+	// Cold start: empty pool and head parked at 0 so repeated runs are
+	// bit-for-bit reproducible. Counters are NOT reset — the run is
+	// reported as a delta between snapshots, so a live metrics scraper
+	// sees them stay monotone. The snapshots come after EvictAll, whose
+	// dirty write-backs belong to the previous run's tail.
 	if err := db.Pool.EvictAll(); err != nil {
 		return Result{}, err
 	}
-	db.Pool.ResetStats()
-	db.Device.ResetStats()
+	dev0 := db.Device.Stats()
+	pool0 := db.Pool.Stats()
 	db.Device.ResetHead()
 
 	tmpl := db.Template
@@ -180,6 +195,7 @@ func (r *Runner) Run(e Experiment) (Result, error) {
 		PinWindowPages:  e.PinWindow,
 		PageBatch:       e.PageBatch,
 		Tracer:          r.Tracer,
+		Metrics:         r.Metrics,
 	})
 	start := time.Now()
 	n, err := volcano.Count(op)
@@ -191,8 +207,8 @@ func (r *Runner) Run(e Experiment) (Result, error) {
 		return Result{}, fmt.Errorf("bench %s: drained %d but operator assembled %d", e.Name, n, st.Assembled)
 	}
 
-	dev := db.Device.Stats()
-	poolStats := db.Pool.Stats()
+	dev := db.Device.Stats().Sub(dev0)
+	poolStats := db.Pool.Stats().Sub(pool0)
 	if r.Tracer != nil {
 		st := op.Stats()
 		r.Tracer.EndRun(runName, trace.RunStats{
@@ -230,8 +246,7 @@ func (r *Runner) RunNaive(e Experiment) (Result, error) {
 	if err := db.Pool.EvictAll(); err != nil {
 		return Result{}, err
 	}
-	db.Pool.ResetStats()
-	db.Device.ResetStats()
+	dev0 := db.Device.Stats()
 	db.Device.ResetHead()
 
 	start := time.Now()
@@ -256,7 +271,7 @@ func (r *Runner) RunNaive(e Experiment) (Result, error) {
 			return Result{}, err
 		}
 	}
-	dev := db.Device.Stats()
+	dev := db.Device.Stats().Sub(dev0)
 	return Result{
 		Experiment: e,
 		AvgSeek:    dev.AvgSeekPerRead(),

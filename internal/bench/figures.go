@@ -8,6 +8,7 @@ import (
 	"revelation/internal/assembly"
 	"revelation/internal/disk"
 	"revelation/internal/gen"
+	"revelation/internal/metrics"
 	"revelation/internal/trace"
 	"revelation/internal/volcano"
 )
@@ -530,6 +531,15 @@ func (r *Runner) FigFaults(scale float64, opts FaultOptions) (Figure, error) {
 	if err != nil {
 		return Figure{}, err
 	}
+	// The sweep's device counters are never reset; each point reports
+	// the delta between registry snapshots, so a concurrent scraper sees
+	// the counters stay monotone across the whole sweep.
+	reg := r.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	fd.RegisterMetrics(reg, "faults")
+	db.Pool.RegisterMetrics(reg, "faults")
 	items := make([]volcano.Item, len(db.Roots))
 	for i, root := range db.Roots {
 		items[i] = root
@@ -545,9 +555,9 @@ func (r *Runner) FigFaults(scale float64, opts FaultOptions) (Figure, error) {
 			if err := db.Pool.EvictAll(); err != nil {
 				return Figure{}, err
 			}
-			// Per-point cold start so the end-of-run marker reports the
-			// point's own device counters, not the sweep's running total.
-			fd.ResetStats()
+			// Per-point cold start: head parked, injector re-armed. The
+			// snapshot comes after EvictAll so the previous point's dirty
+			// write-backs are excluded from this point's delta.
 			fd.ResetHead()
 			fd.SetConfig(disk.FaultConfig{
 				Seed:              opts.Seed,
@@ -555,6 +565,7 @@ func (r *Runner) FigFaults(scale float64, opts FaultOptions) (Figure, error) {
 				TransientFailures: 2,
 				PermanentRate:     f * opts.Permanent,
 			})
+			before := reg.Snapshot()
 			runName := fmt.Sprintf("faults/%s/t%.3f", p.label, f*opts.Transient)
 			if r.Tracer != nil {
 				disk.AttachTracer(fd, r.Tracer)
@@ -566,17 +577,18 @@ func (r *Runner) FigFaults(scale float64, opts FaultOptions) (Figure, error) {
 				Scheduler:   assembly.Elevator,
 				FaultPolicy: p.fp,
 				Tracer:      r.Tracer,
+				Metrics:     r.Metrics,
 			})
 			if _, err := volcano.Count(op); err != nil {
 				return Figure{}, err
 			}
 			st := op.Stats()
 			if r.Tracer != nil {
-				dst := fd.Stats()
+				d := reg.Snapshot().Delta(before)
 				r.Tracer.EndRun(runName, trace.RunStats{
-					Reads:     dst.Reads,
-					SeekReads: dst.SeekReads,
-					SeekTotal: dst.SeekTotal,
+					Reads:     d.Value("asm_disk_reads_total", "dev", "faults"),
+					SeekReads: d.Value("asm_disk_read_seek_pages_total", "dev", "faults"),
+					SeekTotal: d.Value("asm_disk_seek_pages_total", "dev", "faults"),
 					Assembled: st.Assembled,
 					Aborted:   st.Aborted,
 					Skipped:   st.Skipped,

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"revelation/internal/disk"
+	"revelation/internal/metrics"
 	"revelation/internal/trace"
 )
 
@@ -46,6 +47,20 @@ func (s Stats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(total)
+}
+
+// Sub returns the counter difference s - prev, for reporting a run's
+// activity from two snapshots of a pool that is never reset. PeakPins
+// is a high-water mark, not a counter; the result carries s's value.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - prev.Hits,
+		Faults:    s.Faults - prev.Faults,
+		Evictions: s.Evictions - prev.Evictions,
+		Flushes:   s.Flushes - prev.Flushes,
+		Retries:   s.Retries - prev.Retries,
+		PeakPins:  s.PeakPins,
+	}
 }
 
 // Frame is a buffer slot. Callers receive *Frame from Fix and must
@@ -98,9 +113,19 @@ type Pool struct {
 	tick   int64
 	hand   int
 	retry  disk.RetryPolicy
-	stats  Stats
 	tr     *trace.Tracer
 	closed bool
+
+	// Counters live in atomic metric cells so Stats() and a registry
+	// scrape read them without taking the pool lock. Updates still
+	// happen under mu on the fix/unfix paths.
+	hits      metrics.Counter
+	faults    metrics.Counter
+	evictions metrics.Counter
+	flushes   metrics.Counter
+	retries   metrics.Counter
+	pinned    metrics.Gauge // frames with at least one pin, live
+	peakPins  metrics.Gauge // high-water mark of pinned
 }
 
 // New creates a pool of n frames over dev using the given policy.
@@ -129,18 +154,43 @@ func (p *Pool) Size() int { return len(p.frames) }
 // Device returns the underlying device.
 func (p *Pool) Device() disk.Device { return p.dev }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. It does not take the pool
+// lock — the counters are atomic cells — so it is safe to call from a
+// metrics scraper while fixes are in flight.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Hits:      p.hits.Value(),
+		Faults:    p.faults.Value(),
+		Evictions: p.evictions.Value(),
+		Flushes:   p.flushes.Value(),
+		Retries:   p.retries.Value(),
+		PeakPins:  int(p.peakPins.Value()),
+	}
 }
 
 // ResetStats zeroes the counters.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	p.hits.Reset()
+	p.faults.Reset()
+	p.evictions.Reset()
+	p.flushes.Reset()
+	p.retries.Reset()
+	p.peakPins.Reset()
+}
+
+// RegisterMetrics attaches the pool's counters to r under the
+// asm_buffer_* families, labeled with the pool name. The registry
+// observes the same cells the fix path updates.
+func (p *Pool) RegisterMetrics(r *metrics.Registry, pool string) {
+	r.Attach("asm_buffer_hits_total", "Requests satisfied without device access.", &p.hits, "pool", pool)
+	r.Attach("asm_buffer_misses_total", "Requests that required a device read.", &p.faults, "pool", pool)
+	r.Attach("asm_buffer_evictions_total", "Frames reused for a different page.", &p.evictions, "pool", pool)
+	r.Attach("asm_buffer_flushes_total", "Dirty page write-backs.", &p.flushes, "pool", pool)
+	r.Attach("asm_buffer_retries_total", "Device accesses repeated after transient faults.", &p.retries, "pool", pool)
+	r.Attach("asm_buffer_pinned_frames", "Frames with at least one pin, live.", &p.pinned, "pool", pool)
+	r.Attach("asm_buffer_peak_pinned_frames", "High-water mark of pinned frames.", &p.peakPins, "pool", pool)
+	r.Attach("asm_buffer_frames", "Total frames in the pool.",
+		metrics.GaugeFunc(func() int64 { return int64(p.Size()) }), "pool", pool)
 }
 
 // SetTracer installs an event tracer on the pool: every hit, miss
@@ -171,33 +221,20 @@ func (p *Pool) SetRetry(rp disk.RetryPolicy) {
 // readLocked reads a page under the retry policy. Caller holds mu.
 func (p *Pool) readLocked(id disk.PageID, buf []byte) error {
 	retries, err := p.retry.Do(func() error { return p.dev.ReadPage(id, buf) })
-	p.stats.Retries += int64(retries)
+	p.retries.Add(int64(retries))
 	return err
 }
 
 // writeLocked writes a page under the retry policy. Caller holds mu.
 func (p *Pool) writeLocked(id disk.PageID, buf []byte) error {
 	retries, err := p.retry.Do(func() error { return p.dev.WritePage(id, buf) })
-	p.stats.Retries += int64(retries)
+	p.retries.Add(int64(retries))
 	return err
 }
 
-// PinnedFrames counts currently pinned frames.
-func (p *Pool) PinnedFrames() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.pinnedLocked()
-}
-
-func (p *Pool) pinnedLocked() int {
-	n := 0
-	for _, f := range p.frames {
-		if f.pins > 0 {
-			n++
-		}
-	}
-	return n
-}
+// PinnedFrames counts currently pinned frames. The count is maintained
+// as a live gauge on pin transitions, so no lock or scan is needed.
+func (p *Pool) PinnedFrames() int { return int(p.pinned.Value()) }
 
 // Fix pins page id into a frame, reading it from the device on a miss,
 // and returns the frame. Every successful Fix must be paired with an
@@ -215,9 +252,12 @@ func (p *Pool) Fix(id disk.PageID) (*Frame, error) {
 	}
 	if f, ok := p.table[id]; ok {
 		f.pins++
+		if f.pins == 1 {
+			p.pinned.Add(1)
+		}
 		f.hot = true
 		f.stamp = p.tick
-		p.stats.Hits++
+		p.hits.Inc()
 		p.notePins()
 		if p.tr != nil {
 			p.tr.Buffer(trace.KindHit, int64(id), 0)
@@ -236,12 +276,13 @@ func (p *Pool) Fix(id disk.PageID) (*Frame, error) {
 	}
 	f.id = id
 	f.pins = 1
+	p.pinned.Add(1)
 	f.dirty = false
 	f.hot = true
 	f.sticky = false
 	f.stamp = p.tick
 	p.table[id] = f
-	p.stats.Faults++
+	p.faults.Inc()
 	p.notePins()
 	if p.tr != nil {
 		p.tr.Buffer(trace.KindMiss, int64(id), 0)
@@ -273,6 +314,7 @@ func (p *Pool) FixNew() (*Frame, error) {
 	}
 	f.id = id
 	f.pins = 1
+	p.pinned.Add(1)
 	f.dirty = true
 	f.hot = true
 	f.sticky = false
@@ -283,9 +325,7 @@ func (p *Pool) FixNew() (*Frame, error) {
 }
 
 func (p *Pool) notePins() {
-	if n := p.pinnedLocked(); n > p.stats.PeakPins {
-		p.stats.PeakPins = n
-	}
+	p.peakPins.SetMax(p.pinned.Value())
 }
 
 // victimLocked finds a frame to (re)use: an empty frame if available,
@@ -317,7 +357,7 @@ func (p *Pool) victimLocked() (*Frame, error) {
 		if err := p.writeLocked(victim.id, victim.data); err != nil {
 			return nil, err
 		}
-		p.stats.Flushes++
+		p.flushes.Inc()
 		if p.tr != nil {
 			p.tr.Buffer(trace.KindFlush, int64(victim.id), 0)
 		}
@@ -329,7 +369,7 @@ func (p *Pool) victimLocked() (*Frame, error) {
 	victim.id = disk.InvalidPage
 	victim.dirty = false
 	victim.sticky = false
-	p.stats.Evictions++
+	p.evictions.Inc()
 	return victim, nil
 }
 
@@ -379,6 +419,9 @@ func (p *Pool) Unfix(f *Frame, setDirty bool) error {
 		return fmt.Errorf("%w: page %d", ErrNotPinned, f.id)
 	}
 	f.pins--
+	if f.pins == 0 {
+		p.pinned.Add(-1)
+	}
 	if setDirty {
 		f.dirty = true
 	}
@@ -428,7 +471,7 @@ func (p *Pool) flushLocked() error {
 			return err
 		}
 		f.dirty = false
-		p.stats.Flushes++
+		p.flushes.Inc()
 		if p.tr != nil {
 			p.tr.Buffer(trace.KindFlush, int64(f.id), 0)
 		}

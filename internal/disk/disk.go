@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"revelation/internal/metrics"
 	"revelation/internal/trace"
 )
 
@@ -51,6 +52,20 @@ func (s Stats) AvgSeekPerRead() float64 {
 		return 0
 	}
 	return float64(s.SeekReads) / float64(s.Reads)
+}
+
+// Sub returns the counter difference s - prev, for reporting a run's
+// activity from two snapshots of a device that is never reset. MaxSeek
+// is not a counter and cannot be differenced; the result carries s's
+// value, an upper bound for the interval.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Reads:     s.Reads - prev.Reads,
+		Writes:    s.Writes - prev.Writes,
+		SeekTotal: s.SeekTotal - prev.SeekTotal,
+		SeekReads: s.SeekReads - prev.SeekReads,
+		MaxSeek:   s.MaxSeek,
+	}
 }
 
 // Device is a page-addressed block device with seek accounting.
@@ -109,7 +124,7 @@ type Sim struct {
 	pageSize int
 	pages    [][]byte
 	head     PageID
-	stats    Stats
+	cells    devCells
 	fault    FaultFunc
 	tr       *trace.Tracer
 	closed   bool
@@ -158,15 +173,18 @@ func (d *Sim) seekTo(p PageID, read bool) int64 {
 	} else {
 		dist = int64(d.head - p)
 	}
-	d.stats.SeekTotal += dist
-	if read {
-		d.stats.SeekReads += dist
-	}
-	if dist > d.stats.MaxSeek {
-		d.stats.MaxSeek = dist
-	}
+	d.cells.account(dist, read)
 	d.head = p
 	return dist
+}
+
+// RegisterMetrics implements MetricsRegistrar: the registry observes the
+// very cells the access path updates, so a live scrape and Stats() can
+// never disagree.
+func (d *Sim) RegisterMetrics(r *metrics.Registry, dev string) {
+	d.cells.register(r, dev,
+		func() int64 { return int64(d.Head()) },
+		func() int64 { return int64(d.NumPages()) })
 }
 
 // ReadPage implements Device.
@@ -191,14 +209,14 @@ func (d *Sim) ReadPage(p PageID, buf []byte) error {
 		start := time.Now()
 		prev := d.head
 		dist := d.seekTo(p, true)
-		d.stats.Reads++
+		d.cells.reads.Inc()
 		copy(buf, d.pages[p])
 		d.tr.Disk(trace.KindRead, int64(p), int64(prev), dist)
 		d.tr.Observe("disk/read", time.Since(start))
 		return nil
 	}
 	d.seekTo(p, true)
-	d.stats.Reads++
+	d.cells.reads.Inc()
 	copy(buf, d.pages[p])
 	return nil
 }
@@ -225,14 +243,14 @@ func (d *Sim) WritePage(p PageID, buf []byte) error {
 		start := time.Now()
 		prev := d.head
 		dist := d.seekTo(p, false)
-		d.stats.Writes++
+		d.cells.writes.Inc()
 		copy(d.pages[p], buf)
 		d.tr.Disk(trace.KindWrite, int64(p), int64(prev), dist)
 		d.tr.Observe("disk/write", time.Since(start))
 		return nil
 	}
 	d.seekTo(p, false)
-	d.stats.Writes++
+	d.cells.writes.Inc()
 	copy(d.pages[p], buf)
 	return nil
 }
@@ -271,19 +289,12 @@ func (d *Sim) Head() PageID {
 	return d.head
 }
 
-// Stats implements Device.
-func (d *Sim) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
-}
+// Stats implements Device. The counters live in atomic cells, so this
+// is safe to call from a scraper while accesses are in flight.
+func (d *Sim) Stats() Stats { return d.cells.stats() }
 
 // ResetStats implements Device.
-func (d *Sim) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = Stats{}
-}
+func (d *Sim) ResetStats() { d.cells.reset() }
 
 // ResetHead implements Device.
 func (d *Sim) ResetHead() {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"revelation/internal/metrics"
 	"revelation/internal/trace"
 )
 
@@ -57,8 +58,13 @@ type Faulty struct {
 	// remaining tracks how many transient failures each faulty page
 	// still owes before it recovers.
 	remaining map[PageID]int
-	stats     FaultStats
 	tr        *trace.Tracer
+
+	// Injection counters are metric cells so a live registry observes
+	// exactly what FaultStats() reports.
+	transient metrics.Counter
+	permanent metrics.Counter
+	latency   metrics.Counter
 }
 
 // NewFaulty wraps dev with the given fault configuration.
@@ -86,14 +92,31 @@ func (f *Faulty) SetConfig(cfg FaultConfig) {
 	defer f.mu.Unlock()
 	f.cfg = cfg
 	f.remaining = map[PageID]int{}
-	f.stats = FaultStats{}
+	f.transient.Reset()
+	f.permanent.Reset()
+	f.latency.Reset()
 }
 
 // FaultStats returns a snapshot of the injection counters.
 func (f *Faulty) FaultStats() FaultStats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	return FaultStats{
+		Transient: f.transient.Value(),
+		Permanent: f.permanent.Value(),
+		Latency:   f.latency.Value(),
+	}
+}
+
+// RegisterMetrics implements MetricsRegistrar: it exports the injection
+// counters under the device label and forwards to the wrapped device so
+// the whole stack is instrumented.
+func (f *Faulty) RegisterMetrics(r *metrics.Registry, dev string) {
+	r.Attach("asm_disk_faults_total", "Injected I/O faults by class.",
+		&f.transient, "dev", dev, "class", "transient")
+	r.Attach("asm_disk_faults_total", "Injected I/O faults by class.",
+		&f.permanent, "dev", dev, "class", "permanent")
+	r.Attach("asm_disk_latency_spikes_total", "Injected latency spikes.",
+		&f.latency, "dev", dev)
+	RegisterMetrics(f.dev, r, dev)
 }
 
 // Injection salts keep the three decisions independent.
@@ -148,14 +171,14 @@ func (f *Faulty) inject(p PageID, write bool) error {
 	}
 	var delay time.Duration
 	if f.cfg.LatencyRate > 0 && mix(f.cfg.Seed, p, saltLatency) < f.cfg.LatencyRate {
-		f.stats.Latency++
+		f.latency.Inc()
 		delay = f.cfg.Latency
 	}
 	var err error
 	var class string
 	switch {
 	case f.permanentLocked(p):
-		f.stats.Permanent++
+		f.permanent.Inc()
 		class = "permanent"
 		err = fmt.Errorf("%w: page %d", ErrPermanent, p)
 	case f.transientLocked(p):
@@ -168,7 +191,7 @@ func (f *Faulty) inject(p PageID, write bool) error {
 		}
 		if left > 0 {
 			f.remaining[p] = left - 1
-			f.stats.Transient++
+			f.transient.Inc()
 			class = "transient"
 			err = fmt.Errorf("%w: page %d", ErrTransient, p)
 		}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"revelation/internal/metrics"
 )
 
 // FileDevice is a Device persisted in an ordinary file. It applies the
@@ -16,7 +18,7 @@ type FileDevice struct {
 	pageSize int
 	numPages int
 	head     PageID
-	stats    Stats
+	cells    devCells
 	closed   bool
 }
 
@@ -49,14 +51,15 @@ func (d *FileDevice) seekTo(p PageID, read bool) {
 	} else {
 		dist = int64(d.head - p)
 	}
-	d.stats.SeekTotal += dist
-	if read {
-		d.stats.SeekReads += dist
-	}
-	if dist > d.stats.MaxSeek {
-		d.stats.MaxSeek = dist
-	}
+	d.cells.account(dist, read)
 	d.head = p
+}
+
+// RegisterMetrics implements MetricsRegistrar.
+func (d *FileDevice) RegisterMetrics(r *metrics.Registry, dev string) {
+	d.cells.register(r, dev,
+		func() int64 { return int64(d.Head()) },
+		func() int64 { return int64(d.NumPages()) })
 }
 
 // ReadPage implements Device.
@@ -76,7 +79,7 @@ func (d *FileDevice) ReadPage(p PageID, buf []byte) error {
 		return fmt.Errorf("disk: read page %d: %w", p, err)
 	}
 	d.seekTo(p, true)
-	d.stats.Reads++
+	d.cells.reads.Inc()
 	return nil
 }
 
@@ -97,7 +100,7 @@ func (d *FileDevice) WritePage(p PageID, buf []byte) error {
 		return fmt.Errorf("disk: write page %d: %w", p, err)
 	}
 	d.seekTo(p, false)
-	d.stats.Writes++
+	d.cells.writes.Inc()
 	return nil
 }
 
@@ -133,19 +136,12 @@ func (d *FileDevice) Head() PageID {
 	return d.head
 }
 
-// Stats implements Device.
-func (d *FileDevice) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
-}
+// Stats implements Device. The counters live in atomic cells, so this
+// is safe to call from a scraper while accesses are in flight.
+func (d *FileDevice) Stats() Stats { return d.cells.stats() }
 
 // ResetStats implements Device.
-func (d *FileDevice) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = Stats{}
-}
+func (d *FileDevice) ResetStats() { d.cells.reset() }
 
 // ResetHead implements Device.
 func (d *FileDevice) ResetHead() {

@@ -1,0 +1,34 @@
+package disk
+
+import (
+	"testing"
+
+	"revelation/internal/metrics"
+)
+
+// BenchmarkMetricsOverhead prices the metrics instrumentation on the
+// device read path. The design claim is "attach, don't wrap": the
+// registry observes the same atomic cells the hot path always updates,
+// so registering a device must not change its per-read cost at all —
+// the two sub-benchmarks should report identical ns/op (numbers in
+// EXPERIMENTS.md).
+func BenchmarkMetricsOverhead(b *testing.B) {
+	run := func(b *testing.B, d *Sim) {
+		buf := make([]byte, d.PageSize())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := d.ReadPage(PageID(i&1023), buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("read-unregistered", func(b *testing.B) {
+		run(b, New(1024))
+	})
+	b.Run("read-registered", func(b *testing.B) {
+		d := New(1024)
+		d.RegisterMetrics(metrics.NewRegistry(), "bench")
+		run(b, d)
+	})
+}

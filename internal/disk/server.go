@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"revelation/internal/metrics"
 )
 
 // Server is the "server-per-device" architecture sketched in Section 7
@@ -21,7 +23,7 @@ type Server struct {
 	queue     []*request
 	batchWait time.Duration
 	retry     RetryPolicy
-	retries   int64
+	retries   metrics.Counter
 	closed    bool
 	stopped   chan struct{}
 }
@@ -63,10 +65,22 @@ func (s *Server) SetRetry(rp RetryPolicy) {
 
 // Retries reports how many read attempts the server has repeated
 // after transient faults.
-func (s *Server) Retries() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.retries
+func (s *Server) Retries() int64 { return s.retries.Value() }
+
+// RegisterMetrics exports the server's retry counter and live queue
+// depth under the device label, and forwards to the underlying device.
+func (s *Server) RegisterMetrics(r *metrics.Registry, dev string) {
+	r.Attach("asm_disk_server_retries_total",
+		"Read attempts repeated by the device server after transient faults.",
+		&s.retries, "dev", dev)
+	r.Attach("asm_disk_server_queue_depth",
+		"Requests currently queued at the device server.",
+		metrics.GaugeFunc(func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(len(s.queue))
+		}), "dev", dev)
+	RegisterMetrics(s.dev, r, dev)
 }
 
 // Read reads page p through the server, blocking until serviced.
@@ -94,9 +108,7 @@ func (s *Server) service(req *request) error {
 	s.mu.Unlock()
 	retries, err := rp.Do(func() error { return s.dev.ReadPage(req.page, req.buf) })
 	if retries > 0 {
-		s.mu.Lock()
-		s.retries += int64(retries)
-		s.mu.Unlock()
+		s.retries.Add(int64(retries))
 	}
 	return err
 }

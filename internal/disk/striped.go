@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"revelation/internal/metrics"
 	"revelation/internal/trace"
 )
 
@@ -53,6 +54,16 @@ func (s *Striped) Devices() []Device { return s.devs }
 func (s *Striped) SetTracer(t *trace.Tracer) {
 	for _, d := range s.devs {
 		AttachTracer(d, t)
+	}
+}
+
+// RegisterMetrics implements MetricsRegistrar by registering every arm
+// under "<dev><index>": each arm's head and seeks are the physically
+// meaningful ones, and a scraper can aggregate families across the dev
+// label when it wants the combined view.
+func (s *Striped) RegisterMetrics(r *metrics.Registry, dev string) {
+	for i, d := range s.devs {
+		RegisterMetrics(d, r, fmt.Sprintf("%s%d", dev, i))
 	}
 }
 

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// sanitizeName maps an arbitrary string to a valid Prometheus metric
+// name: [a-zA-Z_:][a-zA-Z0-9_:]*. Invalid runes become underscores, and
+// a leading digit is prefixed.
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else if r >= '0' && r <= '9' { // leading digit
+			b.WriteByte('_')
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelName is sanitizeName without the colon (colons are
+// reserved for recording rules in label position).
+func sanitizeLabelName(s string) string {
+	return strings.ReplaceAll(sanitizeName(s), ":", "_")
+}
+
+// escapeLabelValue applies the exposition-format escapes: backslash,
+// double quote, and newline.
+func escapeLabelValue(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline for HELP lines.
+func escapeHelp(s string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(s, `\`, `\\`), "\n", `\n`)
+}
+
+// labelString renders {k="v",...}; extra appends one more pair (the
+// histogram "le" label). Empty label sets render as "".
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabelValue(values[i]))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, escapeLabelValue(extraValue))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteText renders the registry in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, series sorted by label
+// values, histogram buckets cumulative in ascending le order with the
+// power-of-two upper edges 0, 1, 3, 7, … and a final +Inf. The output
+// of a quiescent registry is deterministic byte-for-byte, which is what
+// the exposition golden test pins.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := r.sortedFamilies()
+	// Collect rows under the lock (cells are atomics; GaugeFuncs must
+	// not call back into the registry), then write outside it.
+	type row struct{ text string }
+	var rows []row
+	for _, f := range fams {
+		var b strings.Builder
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range f.sortedChildren() {
+			switch cell := c.cell.(type) {
+			case *Histogram:
+				v := cell.View()
+				hi := 0
+				for i, n := range v.Buckets {
+					if n > 0 {
+						hi = i
+					}
+				}
+				var cum int64
+				for i := 0; i <= hi; i++ {
+					cum += v.Buckets[i]
+					// Bucket i holds values with bitlen == i, so its
+					// inclusive upper edge is 2^i - 1.
+					le := strconv.FormatInt(int64(1)<<uint(i)-1, 10)
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						labelString(f.labelNames, c.labelValues, "le", le), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					labelString(f.labelNames, c.labelValues, "le", "+Inf"), v.Count)
+				fmt.Fprintf(&b, "%s_sum%s %d\n", f.name,
+					labelString(f.labelNames, c.labelValues, "", ""), v.Sum)
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name,
+					labelString(f.labelNames, c.labelValues, "", ""), v.Count)
+			default:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name,
+					labelString(f.labelNames, c.labelValues, "", ""), cellValue(cell))
+			}
+		}
+		rows = append(rows, row{b.String()})
+	}
+	r.mu.Unlock()
+	for _, row := range rows {
+		if _, err := bw.WriteString(row.text); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry as a Prometheus
+// scrape target — the GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

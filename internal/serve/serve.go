@@ -1,0 +1,155 @@
+// Package serve exposes a running workload for live inspection: GET
+// /metrics renders the metrics registry in Prometheus text format, GET
+// /statusz is a human-readable snapshot with a window-occupancy
+// sparkline, and /debug/pprof/* serves the standard Go profiler
+// endpoints. cmd/asmserve wires a benchmark workload to this package;
+// anything else holding a *metrics.Registry can do the same.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"revelation/internal/metrics"
+	"revelation/internal/trace"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Registry backs /metrics and the /statusz counter table.
+	Registry *metrics.Registry
+	// Occupancy, when non-nil, is sampled every SamplePeriod and
+	// rendered as the /statusz sparkline (typically the registry's
+	// asm_assembly_window_occupancy gauge summed over policies).
+	Occupancy func() int64
+	// SamplePeriod is the occupancy sampling interval (default 250ms).
+	SamplePeriod time.Duration
+	// Info lines render verbatim at the top of /statusz (workload
+	// description, figure name, scale, ...).
+	Info []string
+}
+
+// maxSamples bounds the occupancy ring; when full, the oldest half is
+// dropped (the sparkline downsamples anyway).
+const maxSamples = 4096
+
+// Server holds the handlers and the occupancy sampler.
+type Server struct {
+	opts  Options
+	start time.Time
+
+	mu      sync.Mutex
+	samples []int
+	peak    int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a Server over the given options.
+func New(opts Options) *Server {
+	if opts.SamplePeriod <= 0 {
+		opts.SamplePeriod = 250 * time.Millisecond
+	}
+	return &Server{opts: opts, start: time.Now()}
+}
+
+// Handler returns the HTTP mux: /metrics, /statusz, /debug/pprof/*.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", s.opts.Registry.Handler())
+	mux.HandleFunc("/statusz", s.statusz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "asmserve: /metrics /statusz /debug/pprof/")
+	})
+	return mux
+}
+
+// Start launches the occupancy sampler (no-op without an Occupancy
+// source). Stop ends it.
+func (s *Server) Start() {
+	if s.opts.Occupancy == nil || s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(s.opts.SamplePeriod)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				s.sample(int(s.opts.Occupancy()))
+			}
+		}
+	}()
+}
+
+// Stop ends the sampler and waits for it.
+func (s *Server) Stop() {
+	if s.stop == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+	s.stop = nil
+}
+
+func (s *Server) sample(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v > s.peak {
+		s.peak = v
+	}
+	if len(s.samples) >= maxSamples {
+		half := len(s.samples) / 2
+		s.samples = append(s.samples[:0], s.samples[half:]...)
+	}
+	s.samples = append(s.samples, v)
+}
+
+// statusz renders the human-readable snapshot: uptime and info lines,
+// the occupancy sparkline, and every registry sample sorted by name.
+func (s *Server) statusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "asmserve status — uptime %s\n", time.Since(s.start).Round(time.Second))
+	for _, line := range s.opts.Info {
+		fmt.Fprintln(w, line)
+	}
+
+	s.mu.Lock()
+	samples := append([]int(nil), s.samples...)
+	peak := s.peak
+	s.mu.Unlock()
+	if len(samples) > 0 {
+		fmt.Fprintf(w, "\nwindow occupancy over %d samples, peak %d\n", len(samples), peak)
+		fmt.Fprintf(w, "  [%s]\n", trace.Sparkline(samples, peak, 64))
+	}
+
+	snap := s.opts.Registry.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "\n%d samples:\n", len(keys))
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %-60s %d\n", k, snap[k])
+	}
+}

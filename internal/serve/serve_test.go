@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"revelation/internal/metrics"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	reg.Counter("asm_disk_reads_total", "physical page reads", "dev", "0").Add(42)
+	reg.Gauge("asm_assembly_window_occupancy", "live objects", "policy", "elevator").Set(7)
+	s := New(Options{
+		Registry:     reg,
+		Occupancy:    func() int64 { return 7 },
+		SamplePeriod: time.Millisecond,
+		Info:         []string{"workload: test"},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, reg
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	body, resp := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content-type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE asm_disk_reads_total counter",
+		`asm_disk_reads_total{dev="0"} 42`,
+		`asm_assembly_window_occupancy{policy="elevator"} 7`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestStatuszEndpoint(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	s.Start()
+	defer s.Stop()
+	// Wait for the sampler to record at least one occupancy sample.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.samples)
+		s.mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	body, resp := get(t, ts.URL+"/statusz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"uptime",
+		"workload: test",
+		"window occupancy over",
+		`asm_disk_reads_total{dev="0"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("statusz missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	body, resp := get(t, ts.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing goroutine profile:\n%s", body)
+	}
+}
+
+func TestRootAndNotFound(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	body, resp := get(t, ts.URL+"/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("root: status %d body %q", resp.StatusCode, body)
+	}
+	_, resp = get(t, ts.URL+"/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+}

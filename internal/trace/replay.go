@@ -285,39 +285,53 @@ func (r *Replay) Summary() string {
 	return b.String()
 }
 
+// Sparkline renders vals as a one-line text sparkline scaled against
+// peak, downsampled to at most width points; each output rune is the
+// peak within its bucket, so short spikes stay visible. It is shared by
+// the replay's occupancy table and the live /statusz page.
+func Sparkline(vals []int, peak, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	if width < 1 {
+		width = 60
+	}
+	step := 1
+	if len(vals) > width {
+		step = (len(vals) + width - 1) / width
+	}
+	levels := []rune(" .:-=+*#%@")
+	var line strings.Builder
+	for i := 0; i < len(vals); i += step {
+		lvl := 0
+		for j := i; j < i+step && j < len(vals); j++ {
+			if vals[j] > lvl {
+				lvl = vals[j]
+			}
+		}
+		idx := 0
+		if peak > 0 {
+			idx = lvl * (len(levels) - 1) / peak
+		}
+		line.WriteRune(levels[idx])
+	}
+	return line.String()
+}
+
 // OccupancyTable downsamples the occupancy series to at most width
 // points and renders it as a text sparkline over event sequence.
 func (r *Replay) OccupancyTable(width int) string {
 	if len(r.Occupancy) == 0 {
 		return "(no window activity)"
 	}
-	if width < 1 {
-		width = 60
-	}
 	pts := r.Occupancy
-	step := 1
-	if len(pts) > width {
-		step = (len(pts) + width - 1) / width
+	vals := make([]int, len(pts))
+	for i, p := range pts {
+		vals[i] = p.Live
 	}
-	levels := []rune(" .:-=+*#%@")
 	var b strings.Builder
 	fmt.Fprintf(&b, "window occupancy over %d changes, peak %d\n", len(pts), r.PeakWindow)
-	var line strings.Builder
-	for i := 0; i < len(pts); i += step {
-		// Peak within the bucket, so short spikes stay visible.
-		lvl := 0
-		for j := i; j < i+step && j < len(pts); j++ {
-			if pts[j].Live > lvl {
-				lvl = pts[j].Live
-			}
-		}
-		idx := 0
-		if r.PeakWindow > 0 {
-			idx = lvl * (len(levels) - 1) / r.PeakWindow
-		}
-		line.WriteRune(levels[idx])
-	}
-	fmt.Fprintf(&b, "  [%s]\n", line.String())
+	fmt.Fprintf(&b, "  [%s]\n", Sparkline(vals, r.PeakWindow, width))
 	fmt.Fprintf(&b, "  seq %d..%d\n", pts[0].Seq, pts[len(pts)-1].Seq)
 	return b.String()
 }
