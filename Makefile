@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race race-core bench figures trace-demo serve-demo examples cover clean
+.PHONY: all check build vet test test-race race-core crash-test fuzz-smoke bench figures trace-demo serve-demo examples cover clean
 
 all: check
 
@@ -24,6 +24,17 @@ test-race:
 # second job; test-race covers everything but takes much longer).
 race-core:
 	$(GO) test -race ./internal/trace ./internal/metrics ./internal/buffer ./internal/volcano ./internal/serve
+
+# The exhaustive crash-point sweep at a heavier workload than the
+# tier-1 default: every write ordinal is crashed twice (clean and
+# torn), recovered, and verified. CRASH_OPS scales the workload.
+crash-test:
+	CRASH_OPS=96 $(GO) test -run TestCrashPointSweep -v ./internal/wal
+
+# A short coverage-guided fuzz of the slotted page, including the
+# corruption op that tries to break the bounds checks.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzPageOps -fuzztime=10s ./internal/page
 
 # One testing.B bench per paper figure at the repo root, plus the
 # substrate micro-benchmarks in each package.

@@ -17,33 +17,44 @@ import (
 
 	"revelation/internal/buffer"
 	"revelation/internal/disk"
+	"revelation/internal/page"
 )
 
-// Node layout (raw page bytes, little endian):
+// KindBTree is the page-kind tag ("BT") every tree node carries in the
+// common page header, so inspection tools can classify pages.
+const KindBTree uint16 = 0x4254
+
+// Node layout. Every node begins with the common page header
+// (page.HeaderSize bytes: kind tag, LSN, checksum — see internal/page),
+// so tree pages carry the same durability metadata as heap pages and
+// the buffer pool can verify and stamp them uniformly. The node payload
+// follows at nodeBase (raw bytes, little endian):
 //
-//	[0]    kind: 1 = leaf, 2 = internal
-//	[1]    unused
-//	[2:4)  nkeys uint16
-//	[4:8)  next-leaf page id (leaves only; InvalidPage when none)
-//	[8:)   entries
+//	[nodeBase+0]    kind: 1 = leaf, 2 = internal
+//	[nodeBase+1]    unused
+//	[nodeBase+2:4)  nkeys uint16
+//	[nodeBase+4:8)  next-leaf page id (leaves only; InvalidPage when none)
+//	[nodeBase+8:)   entries
 //
 // Leaf entry i (16 bytes):    key u64, value u64
-// Internal node:              child0 u32 at [8:12), then entry i
+// Internal node:              child0 u32 at [nodeBase+8:12), then
 //
-//	(12 bytes): key u64, child u32.
+//	entry i (12 bytes): key u64, child u32.
 //
 // Children hold keys >= the separator to their left.
 const (
 	kindLeaf     = 1
 	kindInternal = 2
 
-	offKind  = 0
-	offNKeys = 2
-	offNext  = 4
+	nodeBase = page.HeaderSize
 
-	leafHdr      = 8
+	offKind  = nodeBase + 0
+	offNKeys = nodeBase + 2
+	offNext  = nodeBase + 4
+
+	leafHdr      = nodeBase + 8
 	leafEntry    = 16
-	internalHdr  = 12 // includes child0
+	internalHdr  = nodeBase + 12 // includes child0
 	internalEntr = 12
 )
 
@@ -101,17 +112,13 @@ func (t *Tree) intCap(pageSize int) int {
 }
 
 func initLeaf(b []byte) {
-	for i := range b[:leafHdr] {
-		b[i] = 0
-	}
+	page.Wrap(b).Init(KindBTree)
 	b[offKind] = kindLeaf
 	binary.LittleEndian.PutUint32(b[offNext:], uint32(disk.InvalidPage))
 }
 
 func initInternal(b []byte) {
-	for i := range b[:internalHdr] {
-		b[i] = 0
-	}
+	page.Wrap(b).Init(KindBTree)
 	b[offKind] = kindInternal
 }
 
@@ -147,13 +154,13 @@ func setIntKey(b []byte, i int, k uint64) {
 // child i is left of key i for i < nkeys; child nkeys is the rightmost.
 func intChild(b []byte, i int) disk.PageID {
 	if i == 0 {
-		return disk.PageID(binary.LittleEndian.Uint32(b[8:]))
+		return disk.PageID(binary.LittleEndian.Uint32(b[nodeBase+8:]))
 	}
 	return disk.PageID(binary.LittleEndian.Uint32(b[internalHdr+(i-1)*internalEntr+8:]))
 }
 func setIntChild(b []byte, i int, c disk.PageID) {
 	if i == 0 {
-		binary.LittleEndian.PutUint32(b[8:], uint32(c))
+		binary.LittleEndian.PutUint32(b[nodeBase+8:], uint32(c))
 		return
 	}
 	binary.LittleEndian.PutUint32(b[internalHdr+(i-1)*internalEntr+8:], uint32(c))
@@ -199,6 +206,25 @@ func (t *Tree) Get(k uint64) (uint64, bool, error) {
 		b := f.Data()
 		if isLeaf(b) {
 			i := leafSearch(b, k)
+			if i >= nkeys(b) {
+				// k is greater than every key here. In a quiescent tree
+				// that means the search is over, but after crash
+				// recovery the tree may hold the prefix of an
+				// interrupted split: the right sibling exists and holds
+				// the moved upper keys, while the parent does not point
+				// to it yet. The sibling is always on the leaf chain
+				// (the split links it before the parent learns the
+				// separator), so follow the chain B-link style. In a
+				// consistent tree this costs at most one extra hop, and
+				// only for absent keys.
+				if next := leafNext(b); next != disk.InvalidPage {
+					if err := t.pool.Unfix(f, false); err != nil {
+						return 0, false, err
+					}
+					id = next
+					continue
+				}
+			}
 			var v uint64
 			found := i < nkeys(b) && leafKey(b, i) == k
 			if found {

@@ -20,6 +20,7 @@ import (
 
 	"revelation/internal/disk"
 	"revelation/internal/metrics"
+	"revelation/internal/page"
 	"revelation/internal/trace"
 )
 
@@ -30,14 +31,27 @@ var (
 	ErrPoolClosed = errors.New("buffer: pool closed")
 )
 
+// WAL is the write-ahead log contract the pool enforces durability
+// against (implemented by internal/wal.Writer; an interface here so the
+// dependency points upward). Append logs a page image and returns its
+// LSN; SyncTo makes the log durable through at least lsn. With a WAL
+// attached, the pool appends every dirtied page image and syncs the log
+// before any data-page write — the WAL-before-data rule that makes
+// crashes recoverable.
+type WAL interface {
+	Append(id disk.PageID, img []byte) (uint64, error)
+	SyncTo(lsn uint64) error
+}
+
 // Stats captures the pool counters used in the evaluation.
 type Stats struct {
-	Hits      int64 // requests satisfied without device access
-	Faults    int64 // requests that required a device read
-	Evictions int64 // frames reused for a different page
-	Flushes   int64 // dirty page write-backs
-	Retries   int64 // device accesses repeated after transient faults
-	PeakPins  int   // high-water mark of simultaneously pinned frames
+	Hits          int64 // requests satisfied without device access
+	Faults        int64 // requests that required a device read
+	Evictions     int64 // frames reused for a different page
+	Flushes       int64 // dirty page write-backs
+	Retries       int64 // device accesses repeated after transient faults
+	ChecksumFails int64 // page reads rejected by checksum verification
+	PeakPins      int   // high-water mark of simultaneously pinned frames
 }
 
 // HitRate returns Hits / (Hits+Faults), or zero before any request.
@@ -54,12 +68,13 @@ func (s Stats) HitRate() float64 {
 // is a high-water mark, not a counter; the result carries s's value.
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Hits:      s.Hits - prev.Hits,
-		Faults:    s.Faults - prev.Faults,
-		Evictions: s.Evictions - prev.Evictions,
-		Flushes:   s.Flushes - prev.Flushes,
-		Retries:   s.Retries - prev.Retries,
-		PeakPins:  s.PeakPins,
+		Hits:          s.Hits - prev.Hits,
+		Faults:        s.Faults - prev.Faults,
+		Evictions:     s.Evictions - prev.Evictions,
+		Flushes:       s.Flushes - prev.Flushes,
+		Retries:       s.Retries - prev.Retries,
+		ChecksumFails: s.ChecksumFails - prev.ChecksumFails,
+		PeakPins:      s.PeakPins,
 	}
 }
 
@@ -114,18 +129,20 @@ type Pool struct {
 	hand   int
 	retry  disk.RetryPolicy
 	tr     *trace.Tracer
+	wal    WAL
 	closed bool
 
 	// Counters live in atomic metric cells so Stats() and a registry
 	// scrape read them without taking the pool lock. Updates still
 	// happen under mu on the fix/unfix paths.
-	hits      metrics.Counter
-	faults    metrics.Counter
-	evictions metrics.Counter
-	flushes   metrics.Counter
-	retries   metrics.Counter
-	pinned    metrics.Gauge // frames with at least one pin, live
-	peakPins  metrics.Gauge // high-water mark of pinned
+	hits          metrics.Counter
+	faults        metrics.Counter
+	evictions     metrics.Counter
+	flushes       metrics.Counter
+	retries       metrics.Counter
+	checksumFails metrics.Counter
+	pinned        metrics.Gauge // frames with at least one pin, live
+	peakPins      metrics.Gauge // high-water mark of pinned
 }
 
 // New creates a pool of n frames over dev using the given policy.
@@ -159,12 +176,13 @@ func (p *Pool) Device() disk.Device { return p.dev }
 // metrics scraper while fixes are in flight.
 func (p *Pool) Stats() Stats {
 	return Stats{
-		Hits:      p.hits.Value(),
-		Faults:    p.faults.Value(),
-		Evictions: p.evictions.Value(),
-		Flushes:   p.flushes.Value(),
-		Retries:   p.retries.Value(),
-		PeakPins:  int(p.peakPins.Value()),
+		Hits:          p.hits.Value(),
+		Faults:        p.faults.Value(),
+		Evictions:     p.evictions.Value(),
+		Flushes:       p.flushes.Value(),
+		Retries:       p.retries.Value(),
+		ChecksumFails: p.checksumFails.Value(),
+		PeakPins:      int(p.peakPins.Value()),
 	}
 }
 
@@ -175,6 +193,7 @@ func (p *Pool) ResetStats() {
 	p.evictions.Reset()
 	p.flushes.Reset()
 	p.retries.Reset()
+	p.checksumFails.Reset()
 	p.peakPins.Reset()
 }
 
@@ -187,6 +206,7 @@ func (p *Pool) RegisterMetrics(r *metrics.Registry, pool string) {
 	r.Attach("asm_buffer_evictions_total", "Frames reused for a different page.", &p.evictions, "pool", pool)
 	r.Attach("asm_buffer_flushes_total", "Dirty page write-backs.", &p.flushes, "pool", pool)
 	r.Attach("asm_buffer_retries_total", "Device accesses repeated after transient faults.", &p.retries, "pool", pool)
+	r.Attach("asm_checksum_failures_total", "Page reads rejected by checksum verification.", &p.checksumFails, "pool", pool)
 	r.Attach("asm_buffer_pinned_frames", "Frames with at least one pin, live.", &p.pinned, "pool", pool)
 	r.Attach("asm_buffer_peak_pinned_frames", "High-water mark of pinned frames.", &p.peakPins, "pool", pool)
 	r.Attach("asm_buffer_frames", "Total frames in the pool.",
@@ -201,6 +221,16 @@ func (p *Pool) SetTracer(t *trace.Tracer) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.tr = t
+}
+
+// SetWAL attaches a write-ahead log to the pool. From then on every
+// page image dirtied through Unfix (and every page born through FixNew)
+// is appended to the log, and no data-page write leaves the pool before
+// the log is durable through that page's LSN. Pass nil to detach.
+func (p *Pool) SetWAL(w WAL) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wal = w
 }
 
 // SetRetry installs a retry-with-backoff policy on the pool's device
@@ -274,6 +304,17 @@ func (p *Pool) Fix(id disk.PageID) (*Frame, error) {
 		f.id = disk.InvalidPage
 		return nil, err
 	}
+	if err := page.Verify(f.data); err != nil {
+		// A torn or corrupt image must never be interpreted: reject the
+		// read and leave the frame free. Recovery (internal/wal) is the
+		// only path that may overwrite such a page.
+		f.id = disk.InvalidPage
+		p.checksumFails.Inc()
+		if p.tr != nil {
+			p.tr.ChecksumFail(int64(id))
+		}
+		return nil, fmt.Errorf("buffer: fix page %d: %w", id, err)
+	}
 	f.id = id
 	f.pins = 1
 	p.pinned.Add(1)
@@ -321,6 +362,14 @@ func (p *Pool) FixNew() (*Frame, error) {
 	f.stamp = p.tick
 	p.table[id] = f
 	p.notePins()
+	if p.wal != nil {
+		// Log the page's birth image now: a page created through FixNew
+		// but never unfixed dirty would otherwise reach the device with
+		// no WAL record behind it, leaving a torn flush unrecoverable.
+		if _, err := p.wal.Append(id, f.data); err != nil {
+			return nil, fmt.Errorf("buffer: wal append new page %d: %w", id, err)
+		}
+	}
 	return f, nil
 }
 
@@ -354,12 +403,8 @@ func (p *Pool) victimLocked() (*Frame, error) {
 		return nil, ErrNoFrames
 	}
 	if victim.dirty {
-		if err := p.writeLocked(victim.id, victim.data); err != nil {
+		if err := p.flushFrameLocked(victim); err != nil {
 			return nil, err
-		}
-		p.flushes.Inc()
-		if p.tr != nil {
-			p.tr.Buffer(trace.KindFlush, int64(victim.id), 0)
 		}
 	}
 	if p.tr != nil {
@@ -424,6 +469,14 @@ func (p *Pool) Unfix(f *Frame, setDirty bool) error {
 	}
 	if setDirty {
 		f.dirty = true
+		if p.wal != nil {
+			// Log the modified image before anyone can flush it. Append
+			// stamps the image's LSN and checksum in place, so the
+			// frame and the log hold byte-identical images.
+			if _, err := p.wal.Append(f.id, f.data); err != nil {
+				return fmt.Errorf("buffer: wal append page %d: %w", f.id, err)
+			}
+		}
 	}
 	if p.tr != nil {
 		dirty := int64(0)
@@ -467,14 +520,33 @@ func (p *Pool) flushLocked() error {
 		if f.id == disk.InvalidPage || !f.dirty {
 			continue
 		}
-		if err := p.writeLocked(f.id, f.data); err != nil {
+		if err := p.flushFrameLocked(f); err != nil {
 			return err
 		}
-		f.dirty = false
-		p.flushes.Inc()
-		if p.tr != nil {
-			p.tr.Buffer(trace.KindFlush, int64(f.id), 0)
+	}
+	return nil
+}
+
+// flushFrameLocked writes one dirty frame back, enforcing the
+// WAL-before-data rule (the log must be durable through the page's LSN
+// before the page itself may reach the device) and stamping the image's
+// checksum on its way out. Caller holds mu; f is dirty.
+func (p *Pool) flushFrameLocked(f *Frame) error {
+	if p.wal != nil {
+		if lsn := page.Wrap(f.data).LSN(); lsn > 0 {
+			if err := p.wal.SyncTo(lsn); err != nil {
+				return fmt.Errorf("buffer: wal sync before flush of page %d: %w", f.id, err)
+			}
 		}
+	}
+	page.Stamp(f.data)
+	if err := p.writeLocked(f.id, f.data); err != nil {
+		return err
+	}
+	f.dirty = false
+	p.flushes.Inc()
+	if p.tr != nil {
+		p.tr.Buffer(trace.KindFlush, int64(f.id), 0)
 	}
 	return nil
 }
@@ -507,6 +579,11 @@ func (p *Pool) EvictAll() error {
 
 // Close flushes dirty pages and marks the pool unusable. It fails if
 // any frame is still pinned, which indicates a fix/unfix imbalance.
+// The pool is marked closed only after a successful flush: a Close
+// that fails to write dirty pages back leaves the pool open, so the
+// caller can retry (or FlushAll after clearing the fault) instead of
+// silently losing the unflushed data to a second Close's "already
+// closed" success path.
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -518,6 +595,9 @@ func (p *Pool) Close() error {
 			return fmt.Errorf("buffer: close with page %d still pinned", f.id)
 		}
 	}
+	if err := p.flushLocked(); err != nil {
+		return err
+	}
 	p.closed = true
-	return p.flushLocked()
+	return nil
 }

@@ -1,0 +1,100 @@
+package buffer
+
+// Error-path regression tests: a pool that hits an error must refuse
+// the operation without corrupting its frame table. These pin down two
+// paths the crash-consistency work leans on — a failed flush must not
+// let Close mark the pool closed (dropping dirty pages silently), and a
+// double Unfix must not push a pin count negative.
+
+import (
+	"errors"
+	"testing"
+
+	"revelation/internal/disk"
+)
+
+func TestCloseAfterFailedFlushKeepsState(t *testing.T) {
+	sim := disk.New(4)
+	dev := disk.NewFaulty(sim, disk.FaultConfig{})
+	p := New(dev, 2, LRU)
+
+	f, err := p.Fix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data()[64] = 0xAB
+	if err := p.Unfix(f, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm permanent write faults: every flush now fails.
+	dev.SetConfig(disk.FaultConfig{Seed: 1, PermanentRate: 1, Writes: true})
+	if err := p.FlushAll(); err == nil {
+		t.Fatal("FlushAll over a dead device succeeded")
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("Close after a failed flush reported success — the dirty page would be dropped")
+	}
+
+	// The pool must remain open and intact: the dirty page is still
+	// resident with its contents, and pin accounting still works.
+	f2, err := p.Fix(0)
+	if err != nil {
+		t.Fatalf("Fix after failed close: %v", err)
+	}
+	if f2.Data()[64] != 0xAB {
+		t.Error("dirty page contents lost across the failed flush")
+	}
+	if err := p.Unfix(f2, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disarm the faults: the same Close must now flush and succeed.
+	dev.SetConfig(disk.FaultConfig{})
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close after disarming faults: %v", err)
+	}
+	buf := make([]byte, sim.PageSize())
+	if err := sim.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[64] != 0xAB {
+		t.Error("dirty page never reached the device on the successful close")
+	}
+}
+
+func TestDoubleUnfixKeepsFrameTable(t *testing.T) {
+	p, _ := newPool(t, 4, 2, LRU)
+	f, err := p.Fix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data()[0] = 7
+	if err := p.Unfix(f, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unfix(f, true); !errors.Is(err, ErrNotPinned) {
+		t.Fatalf("double unfix = %v, want ErrNotPinned", err)
+	}
+	// The frame table must be intact: the page resolves to the same
+	// frame with its data, and the pin count is exactly one again.
+	f2, err := p.Fix(1)
+	if err != nil {
+		t.Fatalf("Fix after double unfix: %v", err)
+	}
+	if f2 != f {
+		t.Error("page 1 moved to a different frame after a rejected unfix")
+	}
+	if f2.Data()[0] != 7 {
+		t.Error("page contents lost after a rejected unfix")
+	}
+	if n := p.PinnedFrames(); n != 1 {
+		t.Errorf("pinned frames = %d, want 1", n)
+	}
+	if err := p.Unfix(f2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

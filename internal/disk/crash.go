@@ -1,0 +1,111 @@
+package disk
+
+import "sync"
+
+// SectorSize is the atomic-write granularity the crash model assumes:
+// a write interrupted by a crash lands some prefix of whole 512-byte
+// sectors, never a partial sector. This matches the classic disk
+// contract (and is conservative for modern 4K-native drives).
+const SectorSize = 512
+
+// crashVerdict is CrashPoint's decision for one write.
+type crashVerdict int
+
+const (
+	crashPass crashVerdict = iota // write proceeds normally
+	crashTear                     // write lands a sector prefix, then the device dies
+	crashDead                     // device is already dead
+)
+
+// CrashPoint models a whole-machine crash at a chosen point in the
+// global write sequence. One CrashPoint is shared by every Faulty
+// wrapper in the system (data device and WAL device alike), so "the
+// n-th write" counts across all of them — exactly the ordering a real
+// crash would cut.
+//
+// Armed with after=n and torn=false, the n-th write completes and then
+// the device dies. With torn=true, the n-th write itself is interrupted:
+// a seeded prefix of whole sectors reaches the medium and the rest of
+// the page keeps its previous contents — a torn page. After the crash,
+// every read, write, and allocation fails with ErrCrashed until Revive.
+//
+// With after <= 0 the point never fires and merely counts writes; the
+// crash-point sweep uses a disarmed run to learn W, the number of
+// write points to crash at.
+type CrashPoint struct {
+	mu      sync.Mutex
+	after   int64 // crash at this write ordinal (1-based); <=0 disarmed
+	torn    bool  // tear the fatal write instead of completing it
+	seed    int64 // drives the torn-prefix length
+	writes  int64 // writes observed so far
+	crashed bool
+}
+
+// NewCrashPoint arms a crash at the after-th write (1-based). With
+// torn, that write is torn at a sector boundary chosen by seed;
+// otherwise it completes and the device dies immediately after.
+// after <= 0 builds a disarmed, count-only point.
+func NewCrashPoint(after int64, torn bool, seed int64) *CrashPoint {
+	return &CrashPoint{after: after, torn: torn, seed: seed}
+}
+
+// onWrite advances the write clock and decides this write's fate.
+// tearBytes is meaningful only for crashTear: how many bytes of the
+// page reach the medium (a multiple of SectorSize, possibly zero,
+// always less than pageSize).
+func (c *CrashPoint) onWrite(pageSize int) (v crashVerdict, tearBytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return crashDead, 0
+	}
+	c.writes++
+	if c.after <= 0 || c.writes < c.after {
+		return crashPass, 0
+	}
+	c.crashed = true
+	if !c.torn {
+		// The fatal write completes; everything after it fails.
+		return crashPass, 0
+	}
+	sectors := pageSize / SectorSize
+	if sectors < 1 {
+		sectors = 1
+	}
+	// A torn write lands k ∈ [0, sectors) whole sectors: always less
+	// than the full page, so the tail keeps its previous contents.
+	k := int(mix(c.seed, PageID(c.writes), saltTear) * float64(sectors))
+	if k >= sectors {
+		k = sectors - 1
+	}
+	return crashTear, k * SectorSize
+}
+
+// dead reports whether the device has crashed (used by reads and
+// allocations, which do not advance the write clock).
+func (c *CrashPoint) dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// Crashed reports whether the crash has fired.
+func (c *CrashPoint) Crashed() bool { return c.dead() }
+
+// Writes returns the number of writes observed so far (including the
+// fatal one).
+func (c *CrashPoint) Writes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}
+
+// Revive clears the crash and disarms the point, modeling the restart
+// after which recovery runs: the device works again and no further
+// crash is scheduled.
+func (c *CrashPoint) Revive() {
+	c.mu.Lock()
+	c.crashed = false
+	c.after = 0
+	c.mu.Unlock()
+}

@@ -24,6 +24,12 @@ var (
 	ErrTransient = errors.New("disk: transient I/O error")
 	// ErrPermanent marks an unrecoverable page error.
 	ErrPermanent = errors.New("disk: permanent page error")
+	// ErrCrashed marks a device killed by a crash point (see
+	// CrashPoint): every access after the crash fails with it until
+	// Revive. It deliberately wraps neither retry sentinel — retrying
+	// into a dead machine is pointless; the caller must stop and let
+	// recovery run.
+	ErrCrashed = errors.New("disk: device crashed")
 )
 
 // Retryable reports whether err is worth retrying: only errors that

@@ -58,7 +58,11 @@ type Faulty struct {
 	// remaining tracks how many transient failures each faulty page
 	// still owes before it recovers.
 	remaining map[PageID]int
-	tr        *trace.Tracer
+	// crash, when set, kills the device at a chosen write ordinal. The
+	// same CrashPoint may be shared by several Faulty devices so the
+	// write clock counts globally.
+	crash *CrashPoint
+	tr    *trace.Tracer
 
 	// Injection counters are metric cells so a live registry observes
 	// exactly what FaultStats() reports.
@@ -97,6 +101,31 @@ func (f *Faulty) SetConfig(cfg FaultConfig) {
 	f.latency.Reset()
 }
 
+// SetCrash attaches a crash point. Pass the same *CrashPoint to every
+// Faulty in the system so the write clock orders writes globally; pass
+// nil to detach.
+func (f *Faulty) SetCrash(c *CrashPoint) {
+	f.mu.Lock()
+	f.crash = c
+	f.mu.Unlock()
+}
+
+// CrashAfter arms a fresh crash point on this device alone: the device
+// dies after its n-th write, tearing that write at a seeded sector
+// boundary when torn is set. It returns the point so the caller can
+// inspect, revive, or share it with other devices via SetCrash.
+func (f *Faulty) CrashAfter(n int64, torn bool, seed int64) *CrashPoint {
+	c := NewCrashPoint(n, torn, seed)
+	f.SetCrash(c)
+	return c
+}
+
+func (f *Faulty) crashPoint() *CrashPoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crash
+}
+
 // FaultStats returns a snapshot of the injection counters.
 func (f *Faulty) FaultStats() FaultStats {
 	return FaultStats{
@@ -119,11 +148,12 @@ func (f *Faulty) RegisterMetrics(r *metrics.Registry, dev string) {
 	RegisterMetrics(f.dev, r, dev)
 }
 
-// Injection salts keep the three decisions independent.
+// Injection salts keep the decisions independent.
 const (
 	saltPermanent = 0x9E3779B97F4A7C15
 	saltTransient = 0xC2B2AE3D27D4EB4F
 	saltLatency   = 0x165667B19E3779F9
+	saltTear      = 0x27D4EB2F165667C5
 )
 
 // mix is splitmix64: a cheap, well-distributed hash of the decision
@@ -211,6 +241,9 @@ func (f *Faulty) inject(p PageID, write bool) error {
 
 // ReadPage implements Device.
 func (f *Faulty) ReadPage(p PageID, buf []byte) error {
+	if c := f.crashPoint(); c != nil && c.dead() {
+		return fmt.Errorf("%w: read page %d", ErrCrashed, p)
+	}
 	if err := f.inject(p, false); err != nil {
 		return err
 	}
@@ -219,6 +252,22 @@ func (f *Faulty) ReadPage(p PageID, buf []byte) error {
 
 // WritePage implements Device.
 func (f *Faulty) WritePage(p PageID, buf []byte) error {
+	if c := f.crashPoint(); c != nil {
+		switch v, tear := c.onWrite(f.dev.PageSize()); v {
+		case crashDead:
+			return fmt.Errorf("%w: write page %d", ErrCrashed, p)
+		case crashTear:
+			// The fatal write lands a prefix of whole sectors over the
+			// page's previous contents — the canonical torn page — and
+			// then the machine is gone.
+			tmp := make([]byte, f.dev.PageSize())
+			if err := f.dev.ReadPage(p, tmp); err == nil {
+				copy(tmp[:tear], buf[:tear])
+				f.dev.WritePage(p, tmp)
+			}
+			return fmt.Errorf("%w: write page %d torn after %d bytes", ErrCrashed, p, tear)
+		}
+	}
 	if err := f.inject(p, true); err != nil {
 		return err
 	}
@@ -226,7 +275,12 @@ func (f *Faulty) WritePage(p PageID, buf []byte) error {
 }
 
 // Allocate implements Device.
-func (f *Faulty) Allocate(n int) (PageID, error) { return f.dev.Allocate(n) }
+func (f *Faulty) Allocate(n int) (PageID, error) {
+	if c := f.crashPoint(); c != nil && c.dead() {
+		return InvalidPage, fmt.Errorf("%w: allocate %d pages", ErrCrashed, n)
+	}
+	return f.dev.Allocate(n)
+}
 
 // NumPages implements Device.
 func (f *Faulty) NumPages() int { return f.dev.NumPages() }

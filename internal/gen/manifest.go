@@ -93,10 +93,11 @@ func (db *Database) SaveManifest(path string) error {
 	return nil
 }
 
-// OpenDatabase reopens a database previously generated onto a
-// file-backed device and described by a manifest.
-func OpenDatabase(devicePath, manifestPath string, bufferPages int) (*Database, error) {
-	mf, err := os.Open(manifestPath)
+// LoadManifest reads and decodes a manifest file. Tools that need only
+// the physical parameters (page size, extent) use this without paying
+// for a full OpenDatabase.
+func LoadManifest(path string) (*Manifest, error) {
+	mf, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +106,17 @@ func OpenDatabase(devicePath, manifestPath string, bufferPages int) (*Database, 
 	if err := gob.NewDecoder(mf).Decode(&m); err != nil {
 		return nil, fmt.Errorf("gen: decode manifest: %w", err)
 	}
+	return &m, nil
+}
+
+// OpenDatabase reopens a database previously generated onto a
+// file-backed device and described by a manifest.
+func OpenDatabase(devicePath, manifestPath string, bufferPages int) (*Database, error) {
+	mp, err := LoadManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	m := *mp
 
 	dev, err := disk.OpenFile(devicePath, m.PageSize)
 	if err != nil {

@@ -1,0 +1,115 @@
+package page
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"revelation/internal/disk"
+)
+
+// ErrChecksum marks a page image whose stored checksum does not match
+// its contents — a torn write, bit rot, or a stray overwrite. A page
+// that fails verification must never be interpreted; recovery (package
+// wal) restores it from a logged image instead.
+var ErrChecksum = errors.New("page: checksum mismatch")
+
+// castagnoli is the CRC-32C polynomial table. CRC-32C is the standard
+// storage checksum (iSCSI, ext4, Btrfs) and is hardware-accelerated on
+// amd64 and arm64, so stamping a 1 KB page costs well under a
+// microsecond.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// zeroField stands in for the checksum field while summing, so the
+// stored value never feeds its own computation.
+var zeroField [checksumLen]byte
+
+const checksumLen = 4
+
+// Sum computes the image's checksum: CRC-32C over the whole page with
+// the checksum field itself treated as zero. Images shorter than the
+// header are summed as-is (they can never verify as pages).
+func Sum(buf []byte) uint32 {
+	if len(buf) < HeaderSize {
+		return crc32.Update(0, castagnoli, buf)
+	}
+	crc := crc32.Update(0, castagnoli, buf[:offChecksum])
+	crc = crc32.Update(crc, castagnoli, zeroField[:])
+	return crc32.Update(crc, castagnoli, buf[offChecksum+checksumLen:])
+}
+
+// StoredChecksum reads the checksum recorded in the image's header.
+func StoredChecksum(buf []byte) uint32 {
+	if len(buf) < HeaderSize {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(buf[offChecksum:])
+}
+
+// Stamp records the image's current checksum in its header. The buffer
+// pool stamps every page on its way to the device; the WAL stamps every
+// image it logs.
+func Stamp(buf []byte) {
+	if len(buf) < HeaderSize {
+		return
+	}
+	binary.LittleEndian.PutUint32(buf[offChecksum:], Sum(buf))
+}
+
+// ZeroImage reports whether the image is entirely zero bytes: a page
+// that was allocated but never written. Such pages verify vacuously —
+// they hold no data to misread.
+func ZeroImage(buf []byte) bool {
+	for _, b := range buf {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify checks the image against its stored checksum. All-zero images
+// (allocated, never written) pass; anything else must match exactly.
+// The error wraps ErrChecksum so callers classify with errors.Is.
+func Verify(buf []byte) error {
+	if len(buf) < HeaderSize {
+		return fmt.Errorf("%w: image of %d bytes", ErrCorruptPage, len(buf))
+	}
+	stored := StoredChecksum(buf)
+	if stored == 0 && ZeroImage(buf) {
+		return nil
+	}
+	if sum := Sum(buf); sum != stored {
+		return fmt.Errorf("%w: stored %08x, computed %08x", ErrChecksum, stored, sum)
+	}
+	return nil
+}
+
+// Checksum returns the page's stored checksum.
+func (p *Page) Checksum() uint32 { return StoredChecksum(p.buf) }
+
+// Stamp records the page's current checksum in its header.
+func (p *Page) Stamp() { Stamp(p.buf) }
+
+// VerifyChecksum checks the page against its stored checksum.
+func (p *Page) VerifyChecksum() error { return Verify(p.buf) }
+
+// VerifyDevice checksum-scans every page of dev and returns the ids
+// that fail verification. A non-nil error reports an I/O failure, not a
+// checksum failure; the returned slice is valid either way for the
+// pages scanned so far.
+func VerifyDevice(dev disk.Device) ([]disk.PageID, error) {
+	buf := make([]byte, dev.PageSize())
+	var bad []disk.PageID
+	for i := 0; i < dev.NumPages(); i++ {
+		id := disk.PageID(i)
+		if err := dev.ReadPage(id, buf); err != nil {
+			return bad, fmt.Errorf("page: verify device: %w", err)
+		}
+		if Verify(buf) != nil {
+			bad = append(bad, id)
+		}
+	}
+	return bad, nil
+}

@@ -15,8 +15,11 @@
 //	[6:8)   uint16 page kind tag (opaque to this package)
 //	[8:12)  uint32 next-page link (heap file chaining; InvalidPage if none)
 //	[12:16) uint32 self page id (integrity checks)
-//	[16:24) uint64 LSN (reserved for recovery; unused)
-//	[24:32) reserved
+//	[16:24) uint64 LSN (log sequence number of the last WAL record
+//	        describing this page; see internal/wal)
+//	[24:28) uint32 CRC-32C page checksum (stamped on flush, verified
+//	        on read; computed with this field zeroed — see checksum.go)
+//	[28:32) reserved
 //
 // With this header, 4-byte slots, and 96-byte object records, exactly
 // nine objects fit a 1 KB page — the geometry stated in the paper's
@@ -48,6 +51,7 @@ const (
 	offNext     = 8
 	offSelf     = 12
 	offLSN      = 16
+	offChecksum = 24
 )
 
 // Common errors.
@@ -114,8 +118,9 @@ func (p *Page) SetSelf(id disk.PageID) {
 	binary.LittleEndian.PutUint32(p.buf[offSelf:], uint32(id))
 }
 
-// LSN returns the page's log sequence number (reserved; unused by this
-// reproduction's single-user engine).
+// LSN returns the page's log sequence number: the LSN of the newest
+// WAL record holding this page's image. Zero means the page has never
+// been logged.
 func (p *Page) LSN() uint64 { return binary.LittleEndian.Uint64(p.buf[offLSN:]) }
 
 // SetLSN records the page's log sequence number.
@@ -139,6 +144,62 @@ func (p *Page) slotOffLen(s SlotID) (off, length int) {
 	off = int(binary.LittleEndian.Uint16(p.buf[base:]))
 	length = int(binary.LittleEndian.Uint16(p.buf[base+2:]))
 	return off, length
+}
+
+// slotInBounds reports whether slot s's directory entry lies within the
+// image. A hostile slot count can claim a directory past the page end;
+// every accessor checks before dereferencing.
+func (p *Page) slotInBounds(s SlotID) bool {
+	return HeaderSize+(int(s)+1)*SlotSize <= len(p.buf)
+}
+
+// headerSane reports whether the free-space pointer can be trusted for
+// placement arithmetic. Mutating operations refuse pages that fail it.
+func (p *Page) headerSane() bool {
+	fe := p.freeEnd()
+	return fe >= HeaderSize && fe <= len(p.buf) &&
+		HeaderSize+p.NumSlots()*SlotSize <= len(p.buf)
+}
+
+// Validate bounds-checks the header and the whole slot directory
+// against the image, so a corrupt or hostile page is rejected before
+// any record access can misread it. It checks: the slot directory fits
+// the page; the free-space pointer lies between the directory and the
+// page end; every live slot's record lies entirely inside
+// [freeEnd, len); dead slots carry zero length; and the live-data
+// accounting matches the sum of live record lengths.
+func (p *Page) Validate() error {
+	if len(p.buf) < HeaderSize {
+		return fmt.Errorf("%w: image of %d bytes", ErrCorruptPage, len(p.buf))
+	}
+	n := p.NumSlots()
+	dirEnd := HeaderSize + n*SlotSize
+	if dirEnd > len(p.buf) {
+		return fmt.Errorf("%w: %d slots overflow %d-byte page", ErrCorruptPage, n, len(p.buf))
+	}
+	fe := p.freeEnd()
+	if fe < dirEnd || fe > len(p.buf) {
+		return fmt.Errorf("%w: free end %d outside [%d,%d]", ErrCorruptPage, fe, dirEnd, len(p.buf))
+	}
+	live := 0
+	for s := 0; s < n; s++ {
+		off, length := p.slotOffLen(SlotID(s))
+		if off == 0 {
+			if length != 0 {
+				return fmt.Errorf("%w: dead slot %d with length %d", ErrCorruptPage, s, length)
+			}
+			continue
+		}
+		if off < fe || off+length > len(p.buf) {
+			return fmt.Errorf("%w: slot %d record [%d,%d) outside [%d,%d)",
+				ErrCorruptPage, s, off, off+length, fe, len(p.buf))
+		}
+		live += length
+	}
+	if live != p.liveData() {
+		return fmt.Errorf("%w: live data %d, slots sum to %d", ErrCorruptPage, p.liveData(), live)
+	}
+	return nil
 }
 
 func (p *Page) setSlot(s SlotID, off, length int) {
@@ -170,6 +231,9 @@ func MaxRecordSize(pageSize int) int {
 func (p *Page) Insert(rec []byte) (SlotID, error) {
 	if len(rec) > MaxRecordSize(len(p.buf)) {
 		return 0, fmt.Errorf("%w: %d bytes", ErrRecordSize, len(rec))
+	}
+	if !p.headerSane() {
+		return 0, fmt.Errorf("%w: free end %d of %d", ErrCorruptPage, p.freeEnd(), len(p.buf))
 	}
 	// Find a dead slot to reuse.
 	slot := SlotID(p.NumSlots())
@@ -211,12 +275,15 @@ func (p *Page) Get(s SlotID) ([]byte, error) {
 	if int(s) >= p.NumSlots() {
 		return nil, fmt.Errorf("%w: slot %d of %d", ErrBadSlot, s, p.NumSlots())
 	}
+	if !p.slotInBounds(s) {
+		return nil, fmt.Errorf("%w: slot %d directory entry past page end", ErrCorruptPage, s)
+	}
 	off, length := p.slotOffLen(s)
 	if off == 0 {
 		return nil, fmt.Errorf("%w: slot %d", ErrDeadSlot, s)
 	}
-	if off+length > len(p.buf) {
-		return nil, fmt.Errorf("%w: slot %d points past page end", ErrCorruptPage, s)
+	if off < HeaderSize || off+length > len(p.buf) {
+		return nil, fmt.Errorf("%w: slot %d record [%d,%d) out of bounds", ErrCorruptPage, s, off, off+length)
 	}
 	return p.buf[off : off+length], nil
 }
@@ -226,6 +293,9 @@ func (p *Page) Get(s SlotID) ([]byte, error) {
 func (p *Page) Delete(s SlotID) error {
 	if int(s) >= p.NumSlots() {
 		return fmt.Errorf("%w: slot %d of %d", ErrBadSlot, s, p.NumSlots())
+	}
+	if !p.slotInBounds(s) {
+		return fmt.Errorf("%w: slot %d directory entry past page end", ErrCorruptPage, s)
 	}
 	off, length := p.slotOffLen(s)
 	if off == 0 {
@@ -242,9 +312,18 @@ func (p *Page) Update(s SlotID, rec []byte) error {
 	if int(s) >= p.NumSlots() {
 		return fmt.Errorf("%w: slot %d of %d", ErrBadSlot, s, p.NumSlots())
 	}
+	if !p.slotInBounds(s) {
+		return fmt.Errorf("%w: slot %d directory entry past page end", ErrCorruptPage, s)
+	}
 	off, length := p.slotOffLen(s)
 	if off == 0 {
 		return fmt.Errorf("%w: slot %d", ErrDeadSlot, s)
+	}
+	if off < HeaderSize || off+length > len(p.buf) {
+		return fmt.Errorf("%w: slot %d record [%d,%d) out of bounds", ErrCorruptPage, s, off, off+length)
+	}
+	if !p.headerSane() {
+		return fmt.Errorf("%w: free end %d of %d", ErrCorruptPage, p.freeEnd(), len(p.buf))
 	}
 	if len(rec) == length {
 		copy(p.buf[off:], rec)
@@ -283,9 +362,11 @@ func (p *Page) compact() {
 		data []byte
 	}
 	var live []rec
-	for s := 0; s < p.NumSlots(); s++ {
+	for s := 0; s < p.NumSlots() && p.slotInBounds(SlotID(s)); s++ {
 		off, length := p.slotOffLen(SlotID(s))
-		if off == 0 {
+		if off < HeaderSize || off+length > len(p.buf) {
+			// Dead (off==0) or corrupt; either way there is nothing
+			// safe to relocate.
 			continue
 		}
 		cp := make([]byte, length)
@@ -304,9 +385,9 @@ func (p *Page) compact() {
 // Records calls fn for every live record in slot order, stopping early
 // if fn returns false.
 func (p *Page) Records(fn func(s SlotID, rec []byte) bool) {
-	for s := 0; s < p.NumSlots(); s++ {
+	for s := 0; s < p.NumSlots() && p.slotInBounds(SlotID(s)); s++ {
 		off, length := p.slotOffLen(SlotID(s))
-		if off == 0 {
+		if off < HeaderSize || off+length > len(p.buf) {
 			continue
 		}
 		if !fn(SlotID(s), p.buf[off:off+length]) {

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+
+	"revelation/internal/buffer"
+	"revelation/internal/disk"
+	"revelation/internal/page"
+	"revelation/internal/wal"
+)
+
+// RecoveryReport aggregates one crash-recovery cycle across the
+// durability stack: what the checksum scan caught before redo ran, what
+// the log replay reinstalled, and what the scan says afterwards. It is
+// the recovery-side sibling of FaultReport.
+type RecoveryReport struct {
+	// BadBefore lists the data pages failing checksum verification
+	// before recovery — the damage the crash actually left.
+	BadBefore []disk.PageID
+	// BadAfter lists pages still failing after recovery; a correct
+	// recovery always leaves this empty.
+	BadAfter []disk.PageID
+	// Log is the replay's own accounting (records scanned, images
+	// redone, pages already current, torn tail).
+	Log wal.Result
+	// PoolChecksumFails counts corrupt reads the buffer pool refused
+	// during the post-recovery verification pass, when a pool is given.
+	PoolChecksumFails int64
+}
+
+// CollectRecovery scans dataDev before and after replaying walDev onto
+// it, returning the aggregated report. The pool, when non-nil, is read
+// for its checksum-failure counter (pass the pool used for verification
+// after recovery). Scan errors and recovery errors are returned as-is;
+// the report is valid only on a nil error.
+func CollectRecovery(walDev, dataDev disk.Device, pool *buffer.Pool, opts wal.Options) (RecoveryReport, error) {
+	var r RecoveryReport
+	bad, err := page.VerifyDevice(dataDev)
+	if err != nil {
+		return r, err
+	}
+	r.BadBefore = bad
+	res, err := wal.Recover(walDev, dataDev, opts)
+	if err != nil {
+		return r, err
+	}
+	r.Log = *res
+	if r.BadAfter, err = page.VerifyDevice(dataDev); err != nil {
+		return r, err
+	}
+	if pool != nil {
+		r.PoolChecksumFails = pool.Stats().ChecksumFails
+	}
+	return r, nil
+}
+
+// Clean reports whether recovery restored full integrity: nothing fails
+// checksum verification afterwards.
+func (r RecoveryReport) Clean() bool { return len(r.BadAfter) == 0 }
+
+func (r RecoveryReport) String() string {
+	tail := "clean tail"
+	if r.Log.TornTail {
+		tail = "torn tail discarded"
+	}
+	return fmt.Sprintf(
+		"recovery: %d pages corrupt before, %d after; "+
+			"log replayed %d records (%d redone, %d current, %s, next LSN %d)",
+		len(r.BadBefore), len(r.BadAfter),
+		r.Log.Records, r.Log.Redone, r.Log.SkippedOlder, tail, r.Log.NextLSN)
+}

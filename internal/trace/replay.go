@@ -28,9 +28,13 @@ type Replay struct {
 
 	// Buffer reconstruction.
 	Hits, Misses, Evictions, Flushes, Unfixes int64
+	ChecksumFails                             int64
 
 	// Fault reconstruction.
 	FaultsTransient, FaultsPermanent int64
+
+	// Durability reconstruction.
+	WALAppends, WALFsyncs, Redone int64
 
 	// Assembly reconstruction.
 	Admitted, Assembled, Aborted, Quarantined int
@@ -133,6 +137,19 @@ func ReplayEvents(events []Event) *Replay {
 				r.Flushes++
 			case KindUnfix:
 				r.Unfixes++
+			case KindChecksumFail:
+				r.ChecksumFails++
+			}
+		case LayerWAL:
+			switch e.Kind {
+			case KindAppend:
+				r.WALAppends++
+			case KindFsync:
+				r.WALFsyncs++
+			}
+		case LayerRecover:
+			if e.Kind == KindRedo {
+				r.Redone++
 			}
 		case LayerAssembly:
 			switch e.Kind {

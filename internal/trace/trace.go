@@ -36,6 +36,8 @@ const (
 	LayerBuffer   = "buffer"
 	LayerAssembly = "assembly"
 	LayerBench    = "bench"
+	LayerWAL      = "wal"
+	LayerRecover  = "recover"
 )
 
 // Disk event kinds.
@@ -47,11 +49,19 @@ const (
 
 // Buffer event kinds.
 const (
-	KindHit   = "hit"   // request satisfied from a resident frame
-	KindMiss  = "miss"  // request that required a device read
-	KindEvict = "evict" // frame reused for a different page
-	KindFlush = "flush" // dirty page written back
-	KindUnfix = "unfix" // pin released (N=1 marks the dirty bit set)
+	KindHit          = "hit"           // request satisfied from a resident frame
+	KindMiss         = "miss"          // request that required a device read
+	KindEvict        = "evict"         // frame reused for a different page
+	KindFlush        = "flush"         // dirty page written back
+	KindUnfix        = "unfix"         // pin released (N=1 marks the dirty bit set)
+	KindChecksumFail = "checksum-fail" // page read failed checksum verification: Page
+)
+
+// WAL and recovery event kinds (see internal/wal).
+const (
+	KindAppend = "append" // page image appended to the log: Page, OID (LSN), N (bytes)
+	KindFsync  = "fsync"  // log made durable: OID (durable LSN), N (bytes synced)
+	KindRedo   = "redo"   // page image reinstalled during recovery: Page, OID (LSN)
 )
 
 // Assembly event kinds.
@@ -202,6 +212,35 @@ func (t *Tracer) Buffer(kind string, page int64, n int64) {
 		return
 	}
 	t.emit(Event{Layer: LayerBuffer, Kind: kind, Page: page, Head: NoPage, Dist: NoPage, N: n})
+}
+
+// ChecksumFail records a page that failed checksum verification on its
+// way into the buffer pool.
+func (t *Tracer) ChecksumFail(page int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Layer: LayerBuffer, Kind: KindChecksumFail, Page: page, Head: NoPage, Dist: NoPage})
+}
+
+// WAL records a log event: KindAppend (page image buffered, lsn
+// assigned, n payload bytes) or KindFsync (log durable through lsn, n
+// bytes written). The LSN travels in the OID field — both are uint64
+// object identities and reusing the field keeps the Event shape (and
+// the JSONL byte stream) stable.
+func (t *Tracer) WAL(kind string, page int64, lsn uint64, n int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Layer: LayerWAL, Kind: kind, Page: page, Head: NoPage, Dist: NoPage, OID: lsn, N: n})
+}
+
+// Redo records a page image reinstalled from the log during recovery.
+func (t *Tracer) Redo(page int64, lsn uint64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Layer: LayerRecover, Kind: KindRedo, Page: page, Head: NoPage, Dist: NoPage, OID: lsn})
 }
 
 // Assembly records an operator event. page and head are NoPage when the

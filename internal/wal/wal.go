@@ -1,0 +1,295 @@
+// Package wal implements a physical page-image write-ahead log and the
+// redo recovery that replays it — the durability half of the ARIES
+// discipline (Mohan et al.; see PAPERS.md) specialized to full-page
+// logging: every record carries the complete after-image of one page,
+// so recovery is a pure, idempotent redo with no undo pass.
+//
+// The contract with the buffer pool (which consumes this package
+// through the buffer.WAL interface):
+//
+//  1. Every time a page is dirtied, its full image is Appended. Append
+//     assigns the image a fresh LSN, writes that LSN and a CRC-32C
+//     checksum into the image itself, and buffers the record in memory.
+//  2. Sync (or SyncTo) makes buffered records durable, in order, on the
+//     log's own disk.Device. A Sync is the commit point: everything
+//     appended before a completed Sync survives any later crash.
+//  3. No data-page write may leave the pool before the log is durable
+//     through that page's LSN (the WAL-before-data rule, enforced by
+//     the pool's flush path calling SyncTo).
+//
+// After a crash, Recover scans the log from the front, discards the
+// torn tail (first record whose header, sequence, or checksum fails),
+// and reinstalls every logged image onto any data page that is missing,
+// corrupt, or older than the image — restoring the database to exactly
+// the state of the last completed Sync.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"revelation/internal/disk"
+	"revelation/internal/metrics"
+	"revelation/internal/page"
+	"revelation/internal/trace"
+)
+
+// Record layout on the log device (little endian), a byte stream laid
+// over pages from offset zero:
+//
+//	[0:4)   magic "WALR"
+//	[4:12)  LSN uint64 (strictly sequential from 1)
+//	[12:16) page id uint32
+//	[16:20) image length uint32
+//	[20:24) CRC-32C over bytes [0:20) plus the image
+//	[24:)   page image
+//
+// Records span page boundaries freely; the page after the last written
+// byte is zero-filled, so a clean log ends at a zero magic.
+const (
+	recMagic   = 0x57414C52 // "WALR"
+	recHdrSize = 24
+
+	// maxImage bounds the length field during scans, so a corrupt
+	// header cannot cause a giant allocation.
+	maxImage = 1 << 20
+)
+
+// ErrClosed reports use of a closed writer.
+var ErrClosed = errors.New("wal: writer closed")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer is the append side of the log. It buffers records in memory
+// between Syncs (group commit: one Sync makes every buffered record
+// durable in a single pass) and owns the log device's write offset.
+// Methods are safe for concurrent use.
+type Writer struct {
+	mu       sync.Mutex
+	dev      disk.Device
+	pageSize int
+
+	// tail is the durable end of the byte stream; buf holds appended
+	// records not yet synced; cur is the in-memory image of the page
+	// containing tail (its durable prefix must be rewritten
+	// byte-identically when the page is filled further).
+	tail int64
+	buf  []byte
+	cur  []byte
+
+	nextLSN     uint64 // LSN the next Append will take
+	appendedLSN uint64 // newest appended (possibly unsynced) LSN
+	durableLSN  uint64 // newest synced LSN
+
+	// err is sticky: once the log device fails, every later operation
+	// fails the same way — a half-written log must not accept more.
+	err    error
+	closed bool
+
+	tr      *trace.Tracer
+	appends metrics.Counter
+	fsyncs  metrics.Counter
+}
+
+// Open builds a writer over dev, resuming after any existing log
+// content: it scans to the end of the valid prefix and appends from
+// there, continuing the LSN sequence. A torn tail left by a crash is
+// simply overwritten by subsequent appends. A fresh device yields an
+// empty log starting at LSN 1.
+func Open(dev disk.Device) (*Writer, error) {
+	w := &Writer{
+		dev:      dev,
+		pageSize: dev.PageSize(),
+		cur:      make([]byte, dev.PageSize()),
+	}
+	end, next, _, err := scan(dev, nil)
+	if err != nil {
+		return nil, err
+	}
+	w.tail = end
+	w.nextLSN = next
+	w.appendedLSN = next - 1
+	w.durableLSN = next - 1
+	if off := int(end % int64(w.pageSize)); off != 0 {
+		pi := disk.PageID(end / int64(w.pageSize))
+		if err := dev.ReadPage(pi, w.cur); err != nil {
+			return nil, fmt.Errorf("wal: open: reload tail page %d: %w", pi, err)
+		}
+		for i := off; i < w.pageSize; i++ {
+			w.cur[i] = 0
+		}
+	}
+	return w, nil
+}
+
+// SetTracer installs an event tracer: appends and syncs emit wal
+// events. Pass nil to disable.
+func (w *Writer) SetTracer(t *trace.Tracer) {
+	w.mu.Lock()
+	w.tr = t
+	w.mu.Unlock()
+}
+
+// RegisterMetrics attaches the writer's counters to r under the given
+// log name.
+func (w *Writer) RegisterMetrics(r *metrics.Registry, log string) {
+	r.Attach("asm_wal_appends_total", "Page images appended to the write-ahead log.",
+		&w.appends, "log", log)
+	r.Attach("asm_wal_fsyncs_total", "Write-ahead log sync operations.",
+		&w.fsyncs, "log", log)
+}
+
+// Append logs img as the after-image of page id and returns the LSN it
+// was assigned. The image is mutated in place — its LSN and checksum
+// fields are stamped — so the caller's frame and the logged record are
+// byte-identical. The record is buffered; it is not durable until the
+// next Sync.
+func (w *Writer) Append(id disk.PageID, img []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	lsn := w.nextLSN
+	w.nextLSN++
+	w.appendedLSN = lsn
+
+	page.Wrap(img).SetLSN(lsn)
+	page.Stamp(img)
+
+	var hdr [recHdrSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], recMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], lsn)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(id))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(img)))
+	crc := crc32.Update(0, castagnoli, hdr[:20])
+	crc = crc32.Update(crc, castagnoli, img)
+	binary.LittleEndian.PutUint32(hdr[20:], crc)
+
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, img...)
+	w.appends.Inc()
+	w.tr.WAL(trace.KindAppend, int64(id), lsn, int64(len(img)))
+	return lsn, nil
+}
+
+// Sync makes every buffered record durable: the pending bytes are laid
+// over log pages from the current tail (rewriting the partial last page
+// with its durable prefix intact) and the tail advances. On return,
+// DurableLSN has caught up with the newest appended record. Errors are
+// sticky.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+// SyncTo makes the log durable through at least lsn, syncing only if
+// needed. lsn 0 (a never-logged page) is vacuously durable.
+func (w *Writer) SyncTo(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if lsn == 0 || w.durableLSN >= lsn {
+		return nil
+	}
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if w.durableLSN < lsn {
+		return fmt.Errorf("wal: sync to %d: log ends at %d", lsn, w.durableLSN)
+	}
+	return nil
+}
+
+func (w *Writer) syncLocked() error {
+	if w.closed {
+		return ErrClosed
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	pending := w.buf
+	synced := int64(len(pending))
+	ps := int64(w.pageSize)
+	for len(pending) > 0 {
+		off := int(w.tail % ps)
+		pi := int(w.tail / ps)
+		n := w.pageSize - off
+		if n > len(pending) {
+			n = len(pending)
+		}
+		copy(w.cur[off:off+n], pending[:n])
+		for i := off + n; i < w.pageSize; i++ {
+			w.cur[i] = 0
+		}
+		for pi >= w.dev.NumPages() {
+			if _, err := w.dev.Allocate(1); err != nil {
+				w.err = fmt.Errorf("wal: sync: %w", err)
+				return w.err
+			}
+		}
+		if err := w.dev.WritePage(disk.PageID(pi), w.cur); err != nil {
+			w.err = fmt.Errorf("wal: sync: %w", err)
+			return w.err
+		}
+		w.tail += int64(n)
+		pending = pending[n:]
+		if off+n == w.pageSize {
+			for i := range w.cur {
+				w.cur[i] = 0
+			}
+		}
+	}
+	w.buf = w.buf[:0]
+	w.durableLSN = w.appendedLSN
+	w.fsyncs.Inc()
+	w.tr.WAL(trace.KindFsync, trace.NoPage, w.durableLSN, synced)
+	return nil
+}
+
+// DurableLSN returns the newest LSN the log guarantees to survive a
+// crash.
+func (w *Writer) DurableLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.durableLSN
+}
+
+// AppendedLSN returns the newest LSN handed out by Append.
+func (w *Writer) AppendedLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendedLSN
+}
+
+// Tail returns the durable end of the log byte stream.
+func (w *Writer) Tail() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tail
+}
+
+// Close syncs any buffered records and marks the writer unusable. Like
+// the buffer pool, it refuses to close over a failed sync, so pending
+// records are never silently dropped.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	w.closed = true
+	return nil
+}
