@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race race-core crash-test fuzz-smoke bench figures trace-demo serve-demo examples cover clean
+.PHONY: all check build vet test test-race race-core chaos-test crash-test fuzz-smoke bench figures trace-demo serve-demo examples cover clean
 
 all: check
 
@@ -24,6 +24,13 @@ test-race:
 # second job; test-race covers everything but takes much longer).
 race-core:
 	$(GO) test -race ./internal/trace ./internal/metrics ./internal/buffer ./internal/volcano ./internal/serve
+
+# The query-lifecycle chaos tests under the race detector: concurrent
+# queries with random-point cancellation, goroutine-leak and
+# pin/reservation-leak checks, and per-query three-way agreement.
+# -count=2 reruns them so cross-run state leaks surface too.
+chaos-test:
+	$(GO) test -race -count=2 -run 'TestChaos|TestCancel|TestDeadline|TestExchangeCancellation|TestExchangeDeadline|TestTwoQueriesTinyPool|TestQuery' ./internal/bench ./internal/assembly ./internal/volcano ./internal/buffer ./internal/serve
 
 # The exhaustive crash-point sweep at a heavier workload than the
 # tier-1 default: every write ordinal is crashed twice (clean and

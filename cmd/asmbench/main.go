@@ -7,14 +7,20 @@
 //
 //	asmbench [-figure all|fig11a|fig11b|fig11c|fig13a|fig13b|fig13c|
 //	          fig14|fig15|fig16|footprint|buffer-window|multi-device|
-//	          page-batch|faults]
+//	          page-batch|faults|concurrency]
 //	         [-scale 1.0] [-json] [-trace FILE]
 //	         [-fault-seed 91] [-fault-transient 0.10] [-fault-permanent 0.005]
+//	         [-concurrency 8] [-deadline 0]
 //
 // -scale shrinks the database sizes for quick runs (0.1 → 100–400
 // complex objects); 1.0 reproduces the paper's 1000–4000. The -fault-*
 // flags parameterise the 'faults' figure: the injector seed and the
 // sweep's maximum transient and permanent fault rates.
+//
+// The 'concurrency' figure sweeps concurrent queries (1, 2, 4, ... up
+// to -concurrency) over one shared pool with per-query reservations and
+// the optional per-query -deadline, reporting wall-clock throughput; it
+// is excluded from 'all' because its timing is nondeterministic.
 //
 // -json prints the figures as deterministic JSON instead of text tables
 // (the schema the golden-file test pins). -trace FILE records every
@@ -34,13 +40,15 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "figure id to regenerate (fig11a..fig16, footprint, buffer-window, multi-device, page-batch, faults), or 'all'")
+	figure := flag.String("figure", "all", "figure id to regenerate (fig11a..fig16, footprint, buffer-window, multi-device, page-batch, faults, concurrency), or 'all'")
 	scale := flag.Float64("scale", 1.0, "database size scale factor (1.0 = paper scale)")
 	jsonOut := flag.Bool("json", false, "print figures as deterministic JSON instead of text tables")
 	traceFile := flag.String("trace", "", "record per-event JSONL trace of every run to this file (replay with asmtrace)")
 	faultSeed := flag.Int64("fault-seed", bench.DefaultFaultOptions.Seed, "fault injector seed (figure 'faults')")
 	faultTransient := flag.Float64("fault-transient", bench.DefaultFaultOptions.Transient, "maximum transient-fault rate for the sweep (figure 'faults')")
 	faultPermanent := flag.Float64("fault-permanent", bench.DefaultFaultOptions.Permanent, "maximum permanent-fault rate for the sweep (figure 'faults')")
+	concurrency := flag.Int("concurrency", 8, "maximum concurrent queries for the 'concurrency' figure (sweep doubles up from 1)")
+	deadline := flag.Duration("deadline", 0, "per-query deadline for the 'concurrency' figure (0 = unbounded)")
 	flag.Parse()
 
 	r := bench.NewRunner()
@@ -91,6 +99,11 @@ func main() {
 			Seed:      *faultSeed,
 			Transient: *faultTransient,
 			Permanent: *faultPermanent,
+		}))
+	case "concurrency":
+		figs, err = one(r.FigConcurrency(*scale, bench.ConcurrencyOptions{
+			MaxConcurrent: *concurrency,
+			Deadline:      *deadline,
 		}))
 	default:
 		fmt.Fprintf(os.Stderr, "asmbench: unknown figure %q\n", *figure)

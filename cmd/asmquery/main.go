@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +35,7 @@ func main() {
 	window := flag.Int("window", 50, "assembly window size")
 	bufferPages := flag.Int("buffer", 256, "buffer pool pages")
 	explain := flag.Bool("explain", true, "print the revealed plan")
+	deadline := flag.Duration("deadline", 0, "abort the revealed query after this long (0 = unbounded)")
 	flag.Parse()
 
 	db, err := gen.OpenDatabase(*dbPath, *manifest, *bufferPages)
@@ -103,8 +106,23 @@ func main() {
 	}
 	if *mode == "revealed" || *mode == "both" {
 		cold()
-		res, err := query.RevealExec(db.Store, q, opts)
+		plan, err := query.Reveal(db.Store, q, opts)
 		if err != nil {
+			fail("reveal: %v", err)
+		}
+		if *deadline > 0 {
+			// The whole plan — exchange producers included — observes
+			// the deadline; an expired query aborts cleanly with its
+			// pins and reservations released, it does not hang.
+			ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+			defer cancel()
+			volcano.Bind(ctx, plan)
+		}
+		res, err := volcano.Drain(plan)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fail("revealed: deadline %v exceeded after %d results", *deadline, len(res))
+			}
 			fail("revealed: %v", err)
 		}
 		st := db.Device.Stats()

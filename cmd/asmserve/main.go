@@ -3,12 +3,14 @@
 //
 //	GET /metrics       Prometheus text exposition of every counter
 //	GET /statusz       human-readable snapshot with occupancy sparkline
+//	GET /query         run one assembly query under a deadline
 //	GET /debug/pprof/  standard Go profiler endpoints
 //
 // Usage:
 //
 //	asmserve [-addr :8091] [-figure faults|fig13c|...] [-scale 0.5]
-//	         [-interval 1s] [-once]
+//	         [-interval 1s] [-once] [-max-concurrent 4]
+//	         [-query-timeout 5s] [-query-window 10]
 //
 // The workload is one of asmbench's figures, re-run every -interval
 // until the process is interrupted (-once stops after a single pass).
@@ -16,11 +18,20 @@
 // metrics registry and never reset, so scrapes observe monotone
 // counters; per-run numbers are snapshot deltas (see DESIGN.md §9).
 //
+// /query runs a fixed selection query against a dedicated generated
+// database under the request's lifecycle: at most -max-concurrent
+// requests run at once (excess answers 503 immediately), each bounded
+// by -query-timeout or the ?deadline=500ms override (expiry answers
+// 504), each holding a buffer-frame reservation so overload sheds at
+// admission instead of thrashing the pool (DESIGN.md §11).
+//
 //	curl -s localhost:8091/metrics | grep asm_disk
+//	curl -s "localhost:8091/query?deadline=250ms"
 //	go tool pprof http://localhost:8091/debug/pprof/profile?seconds=5
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -29,9 +40,14 @@ import (
 	"strings"
 	"time"
 
+	"revelation/internal/assembly"
 	"revelation/internal/bench"
+	"revelation/internal/expr"
+	"revelation/internal/gen"
 	"revelation/internal/metrics"
+	"revelation/internal/query"
 	"revelation/internal/serve"
+	"revelation/internal/volcano"
 )
 
 func main() {
@@ -40,6 +56,9 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "database size scale factor")
 	interval := flag.Duration("interval", time.Second, "pause between workload passes")
 	once := flag.Bool("once", false, "run the workload a single time, then keep serving")
+	maxConcurrent := flag.Int("max-concurrent", 4, "max in-flight /query requests; excess sheds with 503")
+	queryTimeout := flag.Duration("query-timeout", 5*time.Second, "default /query deadline (?deadline= overrides)")
+	queryWindow := flag.Int("query-window", 10, "assembly window for /query requests")
 	flag.Parse()
 
 	reg := metrics.NewRegistry()
@@ -47,6 +66,11 @@ func main() {
 	runner.Metrics = reg
 
 	run, err := workload(runner, *figure)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
+		os.Exit(2)
+	}
+	queryFn, err := queryWorkload(reg, *scale, *queryWindow)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
 		os.Exit(2)
@@ -61,7 +85,11 @@ func main() {
 		},
 		Info: []string{
 			fmt.Sprintf("workload: figure %s, scale %.2f, interval %v", *figure, *scale, *interval),
+			fmt.Sprintf("/query: window %d, max %d concurrent, timeout %v", *queryWindow, *maxConcurrent, *queryTimeout),
 		},
+		Query:         queryFn,
+		MaxConcurrent: *maxConcurrent,
+		QueryTimeout:  *queryTimeout,
 	})
 	srv.Start()
 	defer srv.Stop()
@@ -101,6 +129,59 @@ func main() {
 		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// queryWorkload generates the /query database and returns the closure
+// that runs one revealed selection query under the request's context.
+// Queries share one store and pool: the store is read-only after build
+// and the pool serializes frame traffic, so concurrent requests are
+// safe — the interesting contention (frames) is what reservations and
+// bounded pin waits manage.
+func queryWorkload(reg *metrics.Registry, scale float64, window int) (func(ctx context.Context) (string, error), error) {
+	size := int(1000 * scale)
+	if size < 100 {
+		size = 100
+	}
+	db, err := gen.Build(gen.Config{
+		NumComplexObjects: size,
+		Clustering:        gen.Unclustered,
+		BufferPages:       256,
+		Seed:              91,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.Pool.RegisterMetrics(reg, "queryserve")
+	if window < 1 {
+		window = 1
+	}
+	reserve := window*db.NodesPerObject + 8
+	return func(ctx context.Context) (string, error) {
+		q := &query.Query{
+			Template: db.Template,
+			Roots:    db.Roots,
+			NodePreds: map[string]expr.Predicate{
+				"G": expr.IntCmp{Field: 1, Op: expr.LT, Value: 500, Sel: 0.5},
+			},
+		}
+		opts := assembly.Options{
+			Window:        window,
+			Scheduler:     assembly.Elevator,
+			ReserveFrames: reserve,
+		}
+		plan, err := query.Reveal(db.Store, q, opts)
+		if err != nil {
+			return "", err
+		}
+		volcano.Bind(ctx, plan)
+		start := time.Now()
+		items, err := volcano.Drain(plan)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("assembled %d of %d complex objects in %s",
+			len(items), len(db.Roots), time.Since(start).Round(time.Millisecond)), nil
+	}, nil
 }
 
 // workload maps a figure id to a closure running it once.

@@ -9,17 +9,18 @@ import "revelation/internal/metrics"
 // accumulate monotonically across runs and clones while Snapshot deltas
 // recover any single run's activity.
 type opCells struct {
-	assembled      *metrics.Counter
-	aborted        *metrics.Counter
-	resolved       *metrics.Counter
-	fetched        *metrics.Counter
-	pageRequests   *metrics.Counter
-	sharedLinks    *metrics.Counter
-	predicateFails *metrics.Counter
-	nilRefs        *metrics.Counter
-	skipped        *metrics.Counter
-	faultRetries   *metrics.Counter
-	windowStalls   *metrics.Counter
+	assembled       *metrics.Counter
+	aborted         *metrics.Counter
+	resolved        *metrics.Counter
+	fetched         *metrics.Counter
+	pageRequests    *metrics.Counter
+	sharedLinks     *metrics.Counter
+	predicateFails  *metrics.Counter
+	nilRefs         *metrics.Counter
+	skipped         *metrics.Counter
+	faultRetries    *metrics.Counter
+	windowStalls    *metrics.Counter
+	lifecycleAborts *metrics.Counter
 
 	occupancy   *metrics.Gauge // live complex objects in the window
 	refPool     *metrics.Gauge // unresolved references queued
@@ -31,19 +32,20 @@ type opCells struct {
 // so instrumentation sites never branch.
 func newOpCells(r *metrics.Registry, policy string) *opCells {
 	return &opCells{
-		assembled:      r.Counter("asm_assembly_assembled_total", "Complex objects emitted.", "policy", policy),
-		aborted:        r.Counter("asm_assembly_aborted_total", "Complex objects abandoned by a predicate.", "policy", policy),
-		resolved:       r.Counter("asm_assembly_resolved_total", "References resolved (fetches plus shared links).", "policy", policy),
-		fetched:        r.Counter("asm_assembly_fetched_total", "Objects materialized from storage.", "policy", policy),
-		pageRequests:   r.Counter("asm_assembly_page_requests_total", "Buffer requests issued for fetches.", "policy", policy),
-		sharedLinks:    r.Counter("asm_assembly_shared_links_total", "References satisfied from assembled instances.", "policy", policy),
-		predicateFails: r.Counter("asm_assembly_predicate_fails_total", "Predicate evaluations that rejected an object.", "policy", policy),
-		nilRefs:        r.Counter("asm_assembly_nil_refs_total", "References that were the nil OID.", "policy", policy),
-		skipped:        r.Counter("asm_assembly_skipped_total", "Complex objects quarantined by I/O faults.", "policy", policy),
-		faultRetries:   r.Counter("asm_assembly_fault_retries_total", "Reference fetches re-queued after transient faults.", "policy", policy),
-		windowStalls:   r.Counter("asm_assembly_window_stalls_total", "Admission pauses forced by buffer exhaustion.", "policy", policy),
-		occupancy:      r.Gauge("asm_assembly_window_occupancy", "Complex objects currently in the window.", "policy", policy),
-		refPool:        r.Gauge("asm_assembly_ref_pool", "Unresolved references currently queued.", "policy", policy),
-		windowPages:    r.Gauge("asm_assembly_window_pages", "Distinct pages backing the window.", "policy", policy),
+		assembled:       r.Counter("asm_assembly_assembled_total", "Complex objects emitted.", "policy", policy),
+		aborted:         r.Counter("asm_assembly_aborted_total", "Complex objects abandoned by a predicate.", "policy", policy),
+		resolved:        r.Counter("asm_assembly_resolved_total", "References resolved (fetches plus shared links).", "policy", policy),
+		fetched:         r.Counter("asm_assembly_fetched_total", "Objects materialized from storage.", "policy", policy),
+		pageRequests:    r.Counter("asm_assembly_page_requests_total", "Buffer requests issued for fetches.", "policy", policy),
+		sharedLinks:     r.Counter("asm_assembly_shared_links_total", "References satisfied from assembled instances.", "policy", policy),
+		predicateFails:  r.Counter("asm_assembly_predicate_fails_total", "Predicate evaluations that rejected an object.", "policy", policy),
+		nilRefs:         r.Counter("asm_assembly_nil_refs_total", "References that were the nil OID.", "policy", policy),
+		skipped:         r.Counter("asm_assembly_skipped_total", "Complex objects quarantined by I/O faults.", "policy", policy),
+		faultRetries:    r.Counter("asm_assembly_fault_retries_total", "Reference fetches re-queued after transient faults.", "policy", policy),
+		windowStalls:    r.Counter("asm_assembly_window_stalls_total", "Admission pauses forced by buffer exhaustion.", "policy", policy),
+		lifecycleAborts: r.Counter("asm_assembly_lifecycle_aborts_total", "Query lifecycle aborts (deadline, cancellation, or shed).", "policy", policy),
+		occupancy:       r.Gauge("asm_assembly_window_occupancy", "Complex objects currently in the window.", "policy", policy),
+		refPool:         r.Gauge("asm_assembly_ref_pool", "Unresolved references currently queued.", "policy", policy),
+		windowPages:     r.Gauge("asm_assembly_window_pages", "Distinct pages backing the window.", "policy", policy),
 	}
 }

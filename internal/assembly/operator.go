@@ -1,6 +1,7 @@
 package assembly
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -66,7 +67,20 @@ type Options struct {
 	// counters accumulate monotonically across runs while Stats stays
 	// per-run exact.
 	Metrics *metrics.Registry
+	// ReserveFrames, when > 0, reserves that many buffer frames at Open
+	// as the query's admission quota and releases them at Close. Open
+	// fails with buffer.ErrAdmission when the pool cannot accommodate
+	// the quota — the load-shed signal for the serve layer. A query's
+	// worst-case working set is roughly Window*Template.Nodes() pages
+	// plus transient-fix headroom.
+	ReserveFrames int
 }
+
+// ErrShed marks a query aborted by overload rather than by a device
+// fault or its own predicate: the buffer could not sustain even the
+// minimum window and waiting is pointless. Callers should treat it like
+// an admission rejection (e.g. HTTP 503).
+var ErrShed = errors.New("assembly: query shed under overload")
 
 // FaultPolicy is the operator's reaction to a failed component fetch.
 type FaultPolicy int
@@ -153,7 +167,19 @@ type Operator struct {
 	// progress; it guards the requeue loop against livelock when the
 	// buffer can never satisfy the remaining references.
 	stall int
+	// ctx is the query lifecycle: checked at every scheduling step,
+	// bounds pin waits, and drives the abort path. Nil means unbounded
+	// (the pre-lifecycle behavior).
+	ctx context.Context
+	// reservation is the frame quota admitted at Open (ReserveFrames).
+	reservation *buffer.Reservation
 }
+
+// BindContext implements volcano.ContextBinder: the operator observes
+// ctx at every scheduling step and aborts the whole window — unpinning,
+// draining quarantine bookkeeping, emitting abort events — when the
+// query is cancelled or its deadline passes.
+func (op *Operator) BindContext(ctx context.Context) { op.ctx = ctx }
 
 // workItem is one window slot: a complex object being assembled.
 type workItem struct {
@@ -230,7 +256,16 @@ func (op *Operator) Open() error {
 	op.cells.occupancy.Set(0)
 	op.pressure = false
 	op.stall = 0
+	if op.Opts.ReserveFrames > 0 {
+		r, err := op.Store.File.Pool().Reserve(op.Opts.ReserveFrames)
+		if err != nil {
+			return err
+		}
+		op.reservation = r
+	}
 	if err := op.Input.Open(); err != nil {
+		op.reservation.Release()
+		op.reservation = nil
 		return err
 	}
 	op.open = true
@@ -248,6 +283,13 @@ func (op *Operator) Next() (volcano.Item, error) {
 		window = 1
 	}
 	for {
+		// The query lifecycle gates every scheduling step: a dead
+		// context aborts the whole window before any more work runs.
+		if op.ctx != nil {
+			if err := op.ctx.Err(); err != nil {
+				return nil, op.fail(err)
+			}
+		}
 		// Emit an assembled complex object as soon as one is ready:
 		// "as soon as any one of these complex objects becomes
 		// assembled and passed up the query tree, the operator
@@ -261,7 +303,7 @@ func (op *Operator) Next() (volcano.Item, error) {
 			op.pressure = false
 			op.stall = 0
 			if err := op.unpinFrames(item); err != nil {
-				return nil, err
+				return nil, op.fail(err)
 			}
 			return item.root, nil
 		}
@@ -270,7 +312,7 @@ func (op *Operator) Next() (volcano.Item, error) {
 		// shrinks to what the pool sustains.
 		for op.liveItems < window && !op.inputDone && op.admissionAllowed() {
 			if err := op.admit(); err != nil {
-				return nil, err
+				return nil, op.fail(err)
 			}
 		}
 		if op.liveItems == 0 {
@@ -295,7 +337,7 @@ func (op *Operator) Next() (volcano.Item, error) {
 			op.tr.Assembly(trace.KindChoose, uint64(ref.OID), int64(ref.RID.Page), int64(head), op.sched.Name())
 		}
 		if err := op.resolve(ref); err != nil {
-			return nil, err
+			return nil, op.fail(err)
 		}
 	}
 }
@@ -319,6 +361,10 @@ func (op *Operator) Close() error {
 	op.outq = nil
 	op.sched = nil
 	op.shared = nil
+	// The admission quota returns to the pool on every exit path, error
+	// or not — a leaked reservation would shed later queries forever.
+	op.reservation.Release()
+	op.reservation = nil
 	errs = append(errs, op.Input.Close())
 	return errors.Join(errs...)
 }
@@ -711,7 +757,7 @@ func (op *Operator) refFault(ref *Ref, cause error) error {
 	if errors.Is(cause, buffer.ErrNoFrames) {
 		op.stall++
 		if op.stall > 2*(op.sched.Len()+op.liveItems)+4 {
-			return fmt.Errorf("assembly: window stalled, buffer cannot hold a single complex object: %w", cause)
+			return fmt.Errorf("assembly: window stalled, buffer cannot hold a single complex object: %w: %w", ErrShed, cause)
 		}
 		if !op.pressure {
 			op.pressure = true
@@ -721,6 +767,15 @@ func (op *Operator) refFault(ref *Ref, cause error) error {
 		}
 		if err := op.shedPins(); err != nil {
 			return err
+		}
+		// With its own pins shed, the operator now waits — bounded by
+		// the query's deadline — for another query's unfix instead of
+		// spin-requeueing against a still-full pool. A dead context
+		// surfaces here and aborts the lifecycle upstream.
+		if op.ctx != nil {
+			if werr := op.Store.File.Pool().WaitFrame(op.ctx, 0); werr != nil {
+				return fmt.Errorf("assembly: pin wait: %w", werr)
+			}
 		}
 		item.pending++
 		op.dispatch(ref)
@@ -868,6 +923,13 @@ func (op *Operator) settle(item *workItem) {
 // abort abandons the item's assembly: its pending references die in
 // the scheduler (skipped lazily) and its footprint is released.
 func (op *Operator) abort(item *workItem) error {
+	return op.abortItem(item, "")
+}
+
+// abortItem is abort with a reason carried in the trace event's note:
+// empty for a predicate abort, or one of trace.ReasonDeadline /
+// ReasonCanceled / ReasonShed for a query-lifecycle abort.
+func (op *Operator) abortItem(item *workItem, reason string) error {
 	if item.aborted {
 		return nil
 	}
@@ -876,8 +938,67 @@ func (op *Operator) abort(item *workItem) error {
 	op.cells.occupancy.Set(int64(op.liveItems))
 	op.stats.Aborted++
 	op.cells.aborted.Inc()
-	op.tr.Assembly(trace.KindAbort, uint64(itemRoot(item)), trace.NoPage, trace.NoPage, "")
+	op.tr.Assembly(trace.KindAbort, uint64(itemRoot(item)), trace.NoPage, trace.NoPage, reason)
 	return op.discard(item)
+}
+
+// lifecycleReason classifies a lifecycle-terminal error, or returns ""
+// for ordinary errors (device faults, bookkeeping bugs) that keep the
+// pre-lifecycle behavior.
+func lifecycleReason(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return trace.ReasonDeadline
+	case errors.Is(err, context.Canceled):
+		return trace.ReasonCanceled
+	case errors.Is(err, ErrShed), errors.Is(err, buffer.ErrAdmission):
+		return trace.ReasonShed
+	}
+	return ""
+}
+
+// fail is the operator's error funnel: every error leaving Next passes
+// through it. Lifecycle errors (deadline, cancellation, shed) abort the
+// whole window first — every live complex object is abandoned with its
+// pins and footprint released, an assembly.abort event per item carrying
+// the reason — so the books balance even when the query dies mid-step.
+// Other errors pass through untouched.
+func (op *Operator) fail(err error) error {
+	if err == nil || errors.Is(err, volcano.Done) {
+		return err
+	}
+	reason := lifecycleReason(err)
+	if reason == "" {
+		return err
+	}
+	if aerr := op.abortLifecycle(reason); aerr != nil {
+		return errors.Join(err, aerr)
+	}
+	return err
+}
+
+// abortLifecycle abandons every live complex object with the given
+// reason and drains the output queue's pins. Queued items were already
+// emitted in stats and trace terms, so they release resources without
+// new events; live items go through the ordinary abort path, which also
+// clears quarantine-adjacent state (pressure, stall). Idempotent: a
+// second call sees empty sets.
+func (op *Operator) abortLifecycle(reason string) error {
+	var errs []error
+	for item := range op.liveSet {
+		if err := op.abortItem(item, reason); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, item := range op.outq {
+		op.releaseFootprint(item)
+		if err := op.unpinFrames(item); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	op.outq = nil
+	op.cells.lifecycleAborts.Inc()
+	return errors.Join(errs...)
 }
 
 // itemRoot reports the item's root OID for tracing, or the nil OID when

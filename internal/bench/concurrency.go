@@ -1,0 +1,189 @@
+package bench
+
+// Concurrent-throughput experiment: N queries at a time over one shared
+// database, each holding a frame reservation and running under an
+// optional per-query deadline. This figure measures the lifecycle
+// machinery itself — admission, bounded pin waits, deadline aborts —
+// so unlike the paper reproductions its y-axis is wall-clock throughput
+// and it is deliberately NOT part of AllFigures (the golden-file test
+// pins deterministic output; timing is not).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"revelation/internal/assembly"
+	"revelation/internal/buffer"
+	"revelation/internal/gen"
+	"revelation/internal/volcano"
+)
+
+// ConcurrencyOptions parameterize FigConcurrency.
+type ConcurrencyOptions struct {
+	// MaxConcurrent is the largest concurrency level swept; the sweep
+	// doubles up from 1 (1, 2, 4, ... MaxConcurrent). Values < 1 mean 8.
+	MaxConcurrent int
+	// Deadline bounds each individual query; zero means unbounded.
+	Deadline time.Duration
+	// Queries is the total number of queries run at every level, spread
+	// over the workers; values < 1 mean 2*MaxConcurrent.
+	Queries int
+	// Window is the per-query assembly window (default 4).
+	Window int
+	// BufferPages sizes the shared pool (default 512). Smaller pools
+	// shed more queries at admission.
+	BufferPages int
+}
+
+// ConcurrentLevel is the measurement at one concurrency level.
+type ConcurrentLevel struct {
+	Level     int
+	Completed int           // queries that assembled every root
+	Shed      int           // queries rejected at admission
+	TimedOut  int           // queries aborted by their deadline
+	Assembled int           // complex objects emitted across all queries
+	Elapsed   time.Duration // wall clock for the whole level
+}
+
+// RunConcurrent runs opts.Queries queries at the given concurrency
+// level over db and reports the aggregate outcome. Queries that shed at
+// admission or die at their deadline are counted, not failed: under
+// overload those are correct outcomes — what must hold is that the
+// books balance afterwards (zero pins, zero reservations).
+func (r *Runner) RunConcurrent(db *gen.Database, level int, opts ConcurrencyOptions) (ConcurrentLevel, error) {
+	window := opts.Window
+	if window < 1 {
+		window = 4
+	}
+	queries := opts.Queries
+	if queries < 1 {
+		queries = 2 * level
+	}
+	reserve := window*db.NodesPerObject + 12
+	if reserve > db.Pool.Size() {
+		// Never demand more than the pool holds, or nothing ever runs.
+		reserve = db.Pool.Size()
+	}
+
+	var completed, shed, timedOut, assembled atomic.Int64
+	var firstErr atomic.Value
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < level; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if opts.Deadline > 0 {
+					ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+				}
+				items := make([]volcano.Item, len(db.Roots))
+				for i, root := range db.Roots {
+					items[i] = root
+				}
+				op := assembly.New(volcano.NewSlice(items), db.Store, db.Template, assembly.Options{
+					Window:         window,
+					Scheduler:      assembly.Elevator,
+					PinWindowPages: true,
+					ReserveFrames:  reserve,
+					Tracer:         r.Tracer,
+					Metrics:        r.Metrics,
+				})
+				volcano.Bind(ctx, op)
+				n, err := volcano.Count(op)
+				cancel()
+				assembled.Add(int64(n))
+				switch {
+				case err == nil:
+					completed.Add(1)
+				case errors.Is(err, buffer.ErrAdmission), errors.Is(err, assembly.ErrShed):
+					shed.Add(1)
+				case errors.Is(err, context.DeadlineExceeded):
+					timedOut.Add(1)
+				default:
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}()
+	}
+	for q := 0; q < queries; q++ {
+		work <- q
+	}
+	close(work)
+	wg.Wait()
+	lvl := ConcurrentLevel{
+		Level:     level,
+		Completed: int(completed.Load()),
+		Shed:      int(shed.Load()),
+		TimedOut:  int(timedOut.Load()),
+		Assembled: int(assembled.Load()),
+		Elapsed:   time.Since(start),
+	}
+	if err, _ := firstErr.Load().(error); err != nil {
+		return lvl, err
+	}
+	if got := db.Pool.PinnedFrames(); got != 0 {
+		return lvl, fmt.Errorf("bench: %d frames still pinned after level %d", got, level)
+	}
+	if got := db.Pool.ReservedFrames(); got != 0 {
+		return lvl, fmt.Errorf("bench: %d frames still reserved after level %d", got, level)
+	}
+	return lvl, nil
+}
+
+// FigConcurrency sweeps concurrency levels and reports throughput
+// (assembled complex objects per second; Extra carries the shed+timeout
+// count per level). Not part of AllFigures: wall-clock y-values are not
+// deterministic and must not meet the golden-file test.
+func (r *Runner) FigConcurrency(scale float64, opts ConcurrencyOptions) (Figure, error) {
+	maxLevel := opts.MaxConcurrent
+	if maxLevel < 1 {
+		maxLevel = 8
+	}
+	bufferPages := opts.BufferPages
+	if bufferPages <= 0 {
+		bufferPages = 512
+	}
+	db, err := gen.Build(gen.Config{
+		NumComplexObjects: scaled(1000, scale),
+		Clustering:        gen.Unclustered,
+		Seed:              benchSeed,
+		BufferPages:       bufferPages,
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:     "concurrency",
+		Title:  "Concurrent query throughput under admission control",
+		XLabel: "concurrent queries",
+		YLabel: "complex objects assembled / second",
+		Notes: []string{
+			fmt.Sprintf("pool %d frames, per-query reservation, deadline %v", bufferPages, opts.Deadline),
+			"wall-clock measurement: values vary run to run (excluded from golden output)",
+		},
+	}
+	tput := Series{Label: "elevator"}
+	for level := 1; level <= maxLevel; level *= 2 {
+		lvl, err := r.RunConcurrent(db, level, opts)
+		if err != nil {
+			return fig, err
+		}
+		secs := lvl.Elapsed.Seconds()
+		if secs <= 0 {
+			secs = 1e-9
+		}
+		tput.X = append(tput.X, float64(level))
+		tput.Y = append(tput.Y, float64(lvl.Assembled)/secs)
+		tput.Extra = append(tput.Extra, float64(lvl.Shed+lvl.TimedOut))
+	}
+	fig.Series = []Series{tput}
+	return fig, nil
+}

@@ -1,0 +1,191 @@
+// Admission control and bounded pin waits: the query-lifecycle face of
+// the buffer pool.
+//
+// N concurrent queries over one pool used to fight for frames with no
+// arbitration: overload surfaced as ErrNoFrames storms (each query
+// shedding and retrying) or, with every query pinning its window,
+// as livelock. Two mechanisms replace that:
+//
+//   - Reservations. A query reserves a minimum frame quota before it
+//     starts (assembly.Options.ReserveFrames does this at Open). The
+//     pool admits reservations only while the quotas sum to at most the
+//     frame count, so every admitted query's worst-case working set
+//     fits in aggregate; the excess query gets ErrAdmission immediately
+//     — a clean shed signal the serve layer turns into HTTP 503 —
+//     instead of joining a livelock. Reservations are bookkeeping, not
+//     partitions: frames are still allocated by demand, which keeps the
+//     single-query hot path untouched.
+//
+//   - Bounded pin waits. FixCtx turns frame exhaustion from an instant
+//     ErrNoFrames into a wait — woken by the next freed frame, backed
+//     off exponentially, and bounded by the query's context — so
+//     transient contention between admitted queries resolves by
+//     waiting rather than by error-path retries. The caller's own pins
+//     are its responsibility: a query that might be holding the frames
+//     it is waiting for should shed first and wait second (the
+//     assembly operator does exactly that).
+package buffer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"revelation/internal/disk"
+)
+
+// ErrAdmission rejects a reservation that would oversubscribe the
+// pool. It is the load-shed signal: the caller should fail the query
+// (or return 503) rather than run it degraded.
+var ErrAdmission = errors.New("buffer: admission rejected, frame reservations exhausted")
+
+// Reservation is a query's admitted frame quota. Release returns the
+// quota to the pool; it is idempotent and must run on every query exit
+// path, error or not (the assembly operator releases in Close).
+type Reservation struct {
+	pool   *Pool
+	frames int
+}
+
+// Reserve admits a query that needs at least frames buffer frames,
+// failing with ErrAdmission when the pool's outstanding quotas cannot
+// accommodate it. Values < 1 reserve 1.
+func (p *Pool) Reserve(frames int) (*Reservation, error) {
+	if frames < 1 {
+		frames = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	if p.reserved+frames > len(p.frames) {
+		p.admissionRejects.Inc()
+		return nil, fmt.Errorf("%w: %d reserved + %d requested > %d frames",
+			ErrAdmission, p.reserved, frames, len(p.frames))
+	}
+	p.reserved += frames
+	p.reservations.Add(1)
+	p.reservedFrames.Set(int64(p.reserved))
+	return &Reservation{pool: p, frames: frames}, nil
+}
+
+// Release returns the reservation's quota to the pool and wakes one
+// frame waiter (capacity may have opened for a parked admission
+// retry). Safe to call more than once and on a nil reservation.
+func (r *Reservation) Release() {
+	if r == nil {
+		return
+	}
+	p := r.pool
+	p.mu.Lock()
+	if r.frames > 0 {
+		p.reserved -= r.frames
+		r.frames = 0
+		p.reservations.Add(-1)
+		p.reservedFrames.Set(int64(p.reserved))
+	}
+	p.mu.Unlock()
+	p.notifyFree()
+}
+
+// Frames reports the quota still held (0 after Release).
+func (r *Reservation) Frames() int {
+	if r == nil {
+		return 0
+	}
+	r.pool.mu.Lock()
+	defer r.pool.mu.Unlock()
+	return r.frames
+}
+
+// ReservedFrames reports the total frame quota currently reserved.
+func (p *Pool) ReservedFrames() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reserved
+}
+
+// notifyFree wakes one FixCtx/WaitFrame waiter. The channel holds one
+// token: a wakeup already pending absorbs further notifications, and
+// woken waiters re-check under the lock, so lost-wakeup races only
+// cost a backoff interval, never a deadline.
+func (p *Pool) notifyFree() {
+	select {
+	case p.freeCh <- struct{}{}:
+	default:
+	}
+}
+
+// pin-wait tuning: waits start at waitBase and double to waitCap; the
+// free-frame notification short-circuits the wait whenever a pin
+// actually drains, so the backoff only paces the re-check under
+// sustained exhaustion.
+const (
+	waitBase = 100 * time.Microsecond
+	waitCap  = 5 * time.Millisecond
+)
+
+// FixCtx is Fix with the pin wait bounded by ctx instead of failing
+// immediately: when every frame is pinned, it waits for a frame to
+// free (or for the backoff to elapse) and retries, until the context
+// is cancelled or its deadline passes. The terminal error wraps the
+// context's error, so lifecycle handling upstream can tell a deadline
+// from a device fault; it also wraps ErrNoFrames, preserving the
+// congestion signal. A nil ctx behaves exactly like Fix.
+func (p *Pool) FixCtx(ctx context.Context, id disk.PageID) (*Frame, error) {
+	f, err := p.Fix(id)
+	if err == nil || ctx == nil || !errors.Is(err, ErrNoFrames) {
+		return f, err
+	}
+	backoff := waitBase
+	for {
+		p.pinWaits.Inc()
+		if werr := p.waitFree(ctx, backoff); werr != nil {
+			p.pinWaitTimeouts.Inc()
+			return nil, fmt.Errorf("buffer: fix page %d: pool exhausted while waiting (%w): %w", id, ErrNoFrames, werr)
+		}
+		f, err = p.Fix(id)
+		if err == nil || !errors.Is(err, ErrNoFrames) {
+			return f, err
+		}
+		if backoff < waitCap {
+			backoff *= 2
+		}
+	}
+}
+
+// WaitFrame blocks until a frame may have freed, max elapses, or the
+// context ends, returning the context's error in the last case. The
+// assembly operator calls it after shedding its own pins: waiting on
+// the other queries' unfixes replaces spin-requeueing the faulted
+// reference.
+func (p *Pool) WaitFrame(ctx context.Context, max time.Duration) error {
+	if max <= 0 {
+		max = waitCap
+	}
+	return p.waitFree(ctx, max)
+}
+
+// waitFree parks until a free-frame notification, the timeout, or
+// context end (the only case that returns an error).
+func (p *Pool) waitFree(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	if ctx == nil {
+		select {
+		case <-p.freeCh:
+		case <-timer.C:
+		}
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-p.freeCh:
+		return nil
+	case <-timer.C:
+		return nil
+	}
+}

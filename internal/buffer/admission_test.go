@@ -1,0 +1,194 @@
+package buffer
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"revelation/internal/disk"
+)
+
+// admissionPool builds a small pool over a simulated device.
+func admissionPool(t *testing.T, frames, pages int) *Pool {
+	t.Helper()
+	p, _ := newPool(t, pages, frames, LRU)
+	return p
+}
+
+func TestReserveAccounting(t *testing.T) {
+	p := admissionPool(t, 8, 8)
+	r1, err := p.Reserve(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ReservedFrames(); got != 5 {
+		t.Fatalf("reserved %d, want 5", got)
+	}
+	r2, err := p.Reserve(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 + 3 == 8: full. The next reservation must shed, not queue.
+	if _, err := p.Reserve(1); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("oversubscribed Reserve: %v, want ErrAdmission", err)
+	}
+	r1.Release()
+	r1.Release() // idempotent
+	if got := p.ReservedFrames(); got != 3 {
+		t.Fatalf("after release: reserved %d, want 3", got)
+	}
+	if r1.Frames() != 0 || r2.Frames() != 3 {
+		t.Fatalf("quota views: r1=%d r2=%d, want 0 and 3", r1.Frames(), r2.Frames())
+	}
+	r2.Release()
+	if err := p.Close(); err != nil {
+		t.Fatalf("close after full release: %v", err)
+	}
+}
+
+func TestCloseRefusesLeakedReservation(t *testing.T) {
+	p := admissionPool(t, 4, 4)
+	r, err := p.Reserve(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("Close succeeded with a live reservation")
+	}
+	r.Release()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Reserve(1); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Reserve on closed pool: %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestFixCtxWaitsForFrame: with every frame pinned, FixCtx must wait
+// for an unfix instead of returning ErrNoFrames, and succeed once a
+// frame frees.
+func TestFixCtxWaitsForFrame(t *testing.T) {
+	p := admissionPool(t, 2, 4)
+	f0, err := p.Fix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := p.Fix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain Fix keeps the old contract: immediate congestion error.
+	if _, err := p.Fix(2); !errors.Is(err, ErrNoFrames) {
+		t.Fatalf("Fix over full pool: %v, want ErrNoFrames", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		f, err := p.FixCtx(context.Background(), 2)
+		if err == nil {
+			err = p.Unfix(f, false)
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park
+	if err := p.Unfix(f1, false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waited FixCtx: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("FixCtx did not wake after a frame freed")
+	}
+	if err := p.Unfix(f0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFixCtxDeadlineBoundsWait: the wait ends at the context deadline
+// with an error that carries both the lifecycle cause and the
+// congestion signal.
+func TestFixCtxDeadlineBoundsWait(t *testing.T) {
+	p := admissionPool(t, 1, 2)
+	f0, err := p.Fix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = p.FixCtx(ctx, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("FixCtx past deadline: %v, want context.DeadlineExceeded", err)
+	}
+	if !errors.Is(err, ErrNoFrames) {
+		t.Fatalf("FixCtx error %v does not wrap ErrNoFrames", err)
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("FixCtx waited %v past a 30ms deadline", waited)
+	}
+	if err := p.Unfix(f0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTwoQueriesTinyPoolBothComplete is the satellite regression test:
+// two concurrent pin workloads over a pool with fewer frames than
+// their combined demand must both run to completion — bounded waits
+// resolve the contention with no deadlock and no starvation.
+func TestTwoQueriesTinyPoolBothComplete(t *testing.T) {
+	const pages = 16
+	p := admissionPool(t, 3, pages)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	query := func(start int) error {
+		for round := 0; round < 50; round++ {
+			for i := 0; i < pages; i++ {
+				f, err := p.FixCtx(ctx, disk.PageID((start+i)%pages))
+				if err != nil {
+					return err
+				}
+				// Hold two pins at a time to force overlap: combined
+				// worst case (4) exceeds the 3-frame pool.
+				g, err := p.FixCtx(ctx, disk.PageID((start+i+1)%pages))
+				if err != nil {
+					p.Unfix(f, false)
+					return err
+				}
+				if err := p.Unfix(g, false); err != nil {
+					return err
+				}
+				if err := p.Unfix(f, false); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for q := 0; q < 2; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			errs[q] = query(q * pages / 2)
+		}(q)
+	}
+	wg.Wait()
+	for q, err := range errs {
+		if err != nil {
+			t.Errorf("query %d: %v", q, err)
+		}
+	}
+	if got := p.PinnedFrames(); got != 0 {
+		t.Fatalf("leaked pins: %d frames still pinned", got)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

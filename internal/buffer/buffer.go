@@ -132,6 +132,12 @@ type Pool struct {
 	wal    WAL
 	closed bool
 
+	// reserved is the admitted frame-quota total (see admission.go);
+	// freeCh carries one-token free-frame wakeups for bounded pin
+	// waits.
+	reserved int
+	freeCh   chan struct{}
+
 	// Counters live in atomic metric cells so Stats() and a registry
 	// scrape read them without taking the pool lock. Updates still
 	// happen under mu on the fix/unfix paths.
@@ -143,6 +149,13 @@ type Pool struct {
 	checksumFails metrics.Counter
 	pinned        metrics.Gauge // frames with at least one pin, live
 	peakPins      metrics.Gauge // high-water mark of pinned
+
+	// Admission-layer cells (see admission.go).
+	reservations     metrics.Gauge   // reservations currently admitted
+	reservedFrames   metrics.Gauge   // frame quota currently reserved
+	admissionRejects metrics.Counter // reservations refused (load shed)
+	pinWaits         metrics.Counter // bounded waits entered on frame exhaustion
+	pinWaitTimeouts  metrics.Counter // pin waits ended by ctx deadline/cancel
 }
 
 // New creates a pool of n frames over dev using the given policy.
@@ -154,6 +167,7 @@ func New(dev disk.Device, n int, policy Policy) *Pool {
 		dev:    dev,
 		policy: policy,
 		table:  make(map[disk.PageID]*Frame, n),
+		freeCh: make(chan struct{}, 1),
 	}
 	for i := 0; i < n; i++ {
 		p.frames = append(p.frames, &Frame{
@@ -211,6 +225,11 @@ func (p *Pool) RegisterMetrics(r *metrics.Registry, pool string) {
 	r.Attach("asm_buffer_peak_pinned_frames", "High-water mark of pinned frames.", &p.peakPins, "pool", pool)
 	r.Attach("asm_buffer_frames", "Total frames in the pool.",
 		metrics.GaugeFunc(func() int64 { return int64(p.Size()) }), "pool", pool)
+	r.Attach("asm_buffer_reservations", "Query frame reservations currently admitted.", &p.reservations, "pool", pool)
+	r.Attach("asm_buffer_reserved_frames", "Frame quota currently reserved by admitted queries.", &p.reservedFrames, "pool", pool)
+	r.Attach("asm_buffer_admission_rejects_total", "Frame reservations refused because the pool was oversubscribed.", &p.admissionRejects, "pool", pool)
+	r.Attach("asm_buffer_pin_waits_total", "Bounded waits entered because every frame was pinned.", &p.pinWaits, "pool", pool)
+	r.Attach("asm_buffer_pin_wait_timeouts_total", "Pin waits ended by context cancellation or deadline.", &p.pinWaitTimeouts, "pool", pool)
 }
 
 // SetTracer installs an event tracer on the pool: every hit, miss
@@ -466,6 +485,8 @@ func (p *Pool) Unfix(f *Frame, setDirty bool) error {
 	f.pins--
 	if f.pins == 0 {
 		p.pinned.Add(-1)
+		// A frame became evictable: wake one bounded pin waiter.
+		p.notifyFree()
 	}
 	if setDirty {
 		f.dirty = true
@@ -574,6 +595,7 @@ func (p *Pool) EvictAll() error {
 			f.sticky = false
 		}
 	}
+	p.notifyFree()
 	return nil
 }
 
@@ -594,6 +616,11 @@ func (p *Pool) Close() error {
 		if f.pins > 0 {
 			return fmt.Errorf("buffer: close with page %d still pinned", f.id)
 		}
+	}
+	if p.reserved > 0 {
+		// A live reservation means some query never released its quota
+		// — the same class of bookkeeping bug as a leaked pin.
+		return fmt.Errorf("buffer: close with %d frames still reserved", p.reserved)
 	}
 	if err := p.flushLocked(); err != nil {
 		return err

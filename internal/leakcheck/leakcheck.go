@@ -1,0 +1,49 @@
+// Package leakcheck is a minimal goroutine-leak detector for tests:
+// snapshot the goroutine count before the work under test, then assert
+// it drains back afterwards. Producer and server teardown is
+// asynchronous with the call that triggers it, so the check polls with
+// a deadline instead of sampling once.
+//
+// It deliberately counts goroutines rather than diffing stacks: the
+// suites that use it (exchange shutdown, query cancellation chaos)
+// start from a quiescent baseline, and a count that refuses to drop is
+// exactly the failure the lifecycle machinery exists to prevent.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Snapshot returns the current goroutine count. Take it before
+// starting the workload whose goroutines must drain.
+func Snapshot() int { return runtime.NumGoroutine() }
+
+// Check polls until the goroutine count is back to at most before, and
+// fails the test with a full stack dump if it has not drained within
+// five seconds.
+func Check(t testing.TB, before int) {
+	t.Helper()
+	CheckWithin(t, before, 5*time.Second)
+}
+
+// CheckWithin is Check with an explicit drain deadline.
+func CheckWithin(t testing.TB, before int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("leakcheck: goroutines did not drain: %d > %d\n%s", n, before, buf)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,12 +1,18 @@
 // Package serve exposes a running workload for live inspection: GET
 // /metrics renders the metrics registry in Prometheus text format, GET
 // /statusz is a human-readable snapshot with a window-occupancy
-// sparkline, and /debug/pprof/* serves the standard Go profiler
-// endpoints. cmd/asmserve wires a benchmark workload to this package;
-// anything else holding a *metrics.Registry can do the same.
+// sparkline, /debug/pprof/* serves the standard Go profiler endpoints,
+// and GET /query (when a Query function is wired) executes one query
+// under a per-request deadline behind a concurrency limiter — overload
+// answers 503 immediately instead of queueing into a hang, an expired
+// deadline answers 504. cmd/asmserve wires a benchmark workload to
+// this package; anything else holding a *metrics.Registry can do the
+// same.
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -14,6 +20,8 @@ import (
 	"sync"
 	"time"
 
+	"revelation/internal/assembly"
+	"revelation/internal/buffer"
 	"revelation/internal/metrics"
 	"revelation/internal/trace"
 )
@@ -31,6 +39,17 @@ type Options struct {
 	// Info lines render verbatim at the top of /statusz (workload
 	// description, figure name, scale, ...).
 	Info []string
+	// Query, when non-nil, enables GET /query: it runs one query under
+	// the request's context (deadline included) and returns a summary
+	// line for the response body. It must observe ctx — the serve layer
+	// relies on cancellation reaching the iterators (volcano.Bind).
+	Query func(ctx context.Context) (string, error)
+	// MaxConcurrent bounds in-flight /query requests; excess requests
+	// are shed with 503 instead of queued. Zero means unlimited.
+	MaxConcurrent int
+	// QueryTimeout is the default per-request deadline, overridable per
+	// request with ?deadline=500ms. Zero means no default deadline.
+	QueryTimeout time.Duration
 }
 
 // maxSamples bounds the occupancy ring; when full, the oldest half is
@@ -41,6 +60,16 @@ const maxSamples = 4096
 type Server struct {
 	opts  Options
 	start time.Time
+
+	// slots is the /query concurrency limiter (nil = unlimited): a
+	// request that cannot take a slot without blocking is shed.
+	slots chan struct{}
+
+	queriesOK     *metrics.Counter
+	queriesShed   *metrics.Counter
+	queryTimeouts *metrics.Counter
+	queryCancels  *metrics.Counter
+	queryErrors   *metrics.Counter
 
 	mu      sync.Mutex
 	samples []int
@@ -55,14 +84,28 @@ func New(opts Options) *Server {
 	if opts.SamplePeriod <= 0 {
 		opts.SamplePeriod = 250 * time.Millisecond
 	}
-	return &Server{opts: opts, start: time.Now()}
+	s := &Server{opts: opts, start: time.Now()}
+	if opts.MaxConcurrent > 0 {
+		s.slots = make(chan struct{}, opts.MaxConcurrent)
+	}
+	r := opts.Registry
+	s.queriesOK = r.Counter("asm_serve_queries_total", "Queries answered successfully.")
+	s.queriesShed = r.Counter("asm_serve_query_shed_total", "Queries rejected 503 by load shedding (limiter or admission).")
+	s.queryTimeouts = r.Counter("asm_serve_query_timeouts_total", "Queries terminated 504 by their deadline.")
+	s.queryCancels = r.Counter("asm_serve_query_cancels_total", "Queries abandoned by the client before completing.")
+	s.queryErrors = r.Counter("asm_serve_query_errors_total", "Queries failed 500 for non-lifecycle reasons.")
+	return s
 }
 
-// Handler returns the HTTP mux: /metrics, /statusz, /debug/pprof/*.
+// Handler returns the HTTP mux: /metrics, /statusz, /query (when
+// wired), /debug/pprof/*.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", s.opts.Registry.Handler())
 	mux.HandleFunc("/statusz", s.statusz)
+	if s.opts.Query != nil {
+		mux.HandleFunc("/query", s.query)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -122,6 +165,59 @@ func (s *Server) sample(v int) {
 		s.samples = append(s.samples[:0], s.samples[half:]...)
 	}
 	s.samples = append(s.samples, v)
+}
+
+// query executes one query under the request lifecycle. The shed
+// decision is made before any work: a full limiter answers 503 without
+// blocking, so overload degrades to fast rejections rather than a
+// convoy of hung requests. Admission rejections and operator sheds from
+// below map to 503 too (same client remedy: back off and retry); an
+// expired deadline maps to 504.
+func (s *Server) query(w http.ResponseWriter, r *http.Request) {
+	if s.slots != nil {
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		default:
+			s.queriesShed.Inc()
+			http.Error(w, "query shed: server at concurrency limit", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	timeout := s.opts.QueryTimeout
+	if d := r.URL.Query().Get("deadline"); d != "" {
+		parsed, err := time.ParseDuration(d)
+		if err != nil || parsed <= 0 {
+			http.Error(w, fmt.Sprintf("bad deadline %q: want a positive Go duration like 500ms", d), http.StatusBadRequest)
+			return
+		}
+		timeout = parsed
+	}
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	summary, err := s.opts.Query(ctx)
+	switch {
+	case err == nil:
+		s.queriesOK.Inc()
+		fmt.Fprintln(w, summary)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.queryTimeouts.Inc()
+		http.Error(w, fmt.Sprintf("query deadline exceeded: %v", err), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status code is for the log only.
+		s.queryCancels.Inc()
+		http.Error(w, fmt.Sprintf("query canceled: %v", err), http.StatusServiceUnavailable)
+	case errors.Is(err, buffer.ErrAdmission), errors.Is(err, assembly.ErrShed):
+		s.queriesShed.Inc()
+		http.Error(w, fmt.Sprintf("query shed: %v", err), http.StatusServiceUnavailable)
+	default:
+		s.queryErrors.Inc()
+		http.Error(w, fmt.Sprintf("query failed: %v", err), http.StatusInternalServerError)
+	}
 }
 
 // statusz renders the human-readable snapshot: uptime and info lines,

@@ -1,13 +1,16 @@
 package serve
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"revelation/internal/buffer"
 	"revelation/internal/metrics"
 )
 
@@ -100,6 +103,117 @@ func TestPprofEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(body, "goroutine") {
 		t.Errorf("pprof index missing goroutine profile:\n%s", body)
+	}
+}
+
+// queryServer wires a fake query that blocks until release (or ctx
+// end), behind a limiter of max in-flight requests.
+func queryServer(t *testing.T, max int, timeout time.Duration, q func(ctx context.Context) (string, error)) (*httptest.Server, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	s := New(Options{
+		Registry:      reg,
+		MaxConcurrent: max,
+		QueryTimeout:  timeout,
+		Query:         q,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+func TestQueryOK(t *testing.T) {
+	ts, reg := queryServer(t, 2, 0, func(ctx context.Context) (string, error) {
+		return "assembled 7 complex objects", nil
+	})
+	body, resp := get(t, ts.URL+"/query")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "assembled 7") {
+		t.Fatalf("status %d body %q", resp.StatusCode, body)
+	}
+	if n := reg.Snapshot()["asm_serve_queries_total"]; n != 1 {
+		t.Errorf("queries_total = %d, want 1", n)
+	}
+}
+
+// TestQueryLoadShed503 is the overload acceptance test: with every slot
+// occupied by a parked query, the next request must come back 503
+// immediately — not hang in a queue.
+func TestQueryLoadShed503(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	ts, reg := queryServer(t, 2, 0, func(ctx context.Context) (string, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return "ok", nil
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			get(t, ts.URL+"/query")
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("parked queries never started")
+		}
+	}
+	done := make(chan *http.Response, 1)
+	go func() {
+		_, resp := get(t, ts.URL+"/query")
+		done <- resp
+	}()
+	select {
+	case resp := <-done:
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("overloaded query: status %d, want 503", resp.StatusCode)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("overloaded query hung instead of returning 503")
+	}
+	close(release)
+	wg.Wait()
+	if n := reg.Snapshot()["asm_serve_query_shed_total"]; n != 1 {
+		t.Errorf("query_shed_total = %d, want 1", n)
+	}
+}
+
+func TestQueryDeadline504(t *testing.T) {
+	ts, reg := queryServer(t, 0, time.Hour, func(ctx context.Context) (string, error) {
+		<-ctx.Done()
+		return "", ctx.Err()
+	})
+	// The per-request override shrinks the hour default to 20ms.
+	_, resp := get(t, ts.URL+"/query?deadline=20ms")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired query: status %d, want 504", resp.StatusCode)
+	}
+	if n := reg.Snapshot()["asm_serve_query_timeouts_total"]; n != 1 {
+		t.Errorf("query_timeouts_total = %d, want 1", n)
+	}
+	_, resp = get(t, ts.URL+"/query?deadline=banana")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad deadline: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestQueryAdmissionRejectionIs503(t *testing.T) {
+	ts, reg := queryServer(t, 0, 0, func(ctx context.Context) (string, error) {
+		return "", buffer.ErrAdmission
+	})
+	_, resp := get(t, ts.URL+"/query")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("admission-rejected query: status %d, want 503", resp.StatusCode)
+	}
+	if n := reg.Snapshot()["asm_serve_query_shed_total"]; n != 1 {
+		t.Errorf("query_shed_total = %d, want 1", n)
 	}
 }
 

@@ -73,10 +73,19 @@ const (
 	KindFetch      = "fetch"      // component materialized from storage: OID, Page
 	KindLink       = "link"       // reference satisfied without a fetch: OID
 	KindEmit       = "emit"       // assembled complex object passed up: OID (root)
-	KindAbort      = "abort"      // complex object abandoned by a predicate
+	KindAbort      = "abort"      // complex object abandoned: Note ("" = predicate, else lifecycle reason)
 	KindQuarantine = "quarantine" // complex object poisoned by an I/O fault
 	KindRetry      = "retry"      // reference re-queued after a transient fault: OID, Page
 	KindStall      = "stall"      // admission paused by buffer exhaustion
+)
+
+// Lifecycle abort reasons carried in the Note field of assembly abort
+// events when a whole query dies rather than a single complex object:
+// its deadline passed, its context was cancelled, or overload shed it.
+const (
+	ReasonDeadline = "deadline"
+	ReasonCanceled = "canceled"
+	ReasonShed     = "shed"
 )
 
 // Bench event kinds: run markers emitted by the experiment harness so a

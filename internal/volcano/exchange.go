@@ -1,6 +1,7 @@
 package volcano
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -22,6 +23,12 @@ type Exchange struct {
 	Factory func(part int) (Iterator, error)
 	// QueueLen bounds the flow-control queue (default 64).
 	QueueLen int
+
+	// ctx, when bound (see Bind), drives producer shutdown: producers
+	// select on ctx.Done as well as the exchange's own cancel channel,
+	// so a cancelled query drains its goroutines without waiting for
+	// the consumer to call Close. Bind before Open.
+	ctx context.Context
 
 	ch     chan exchItem
 	cancel chan struct{}
@@ -82,6 +89,20 @@ func (e *Exchange) Open() error {
 	return nil
 }
 
+// BindContext implements ContextBinder. Producers launched by a later
+// Open select on ctx.Done, so cancellation alone — without any Close
+// ordering — drains the exchange's goroutines.
+func (e *Exchange) BindContext(ctx context.Context) { e.ctx = ctx }
+
+// ctxDone returns the bound context's done channel, or nil (which
+// never fires in a select) when unbound.
+func (e *Exchange) ctxDone() <-chan struct{} {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Done()
+}
+
 func (e *Exchange) produce(part int) {
 	e.producers.Add(1)
 	defer e.producers.Add(-1)
@@ -91,12 +112,24 @@ func (e *Exchange) produce(part int) {
 		e.send(exchItem{err: fmt.Errorf("volcano: exchange partition %d: %w", part, err)})
 		return
 	}
+	// Fragments are created per Open, after any Bind walk over the
+	// plan, so the query context is threaded into them here.
+	if e.ctx != nil {
+		if cb, ok := it.(ContextBinder); ok {
+			cb.BindContext(e.ctx)
+		}
+	}
 	if err := it.Open(); err != nil {
 		e.send(exchItem{err: fmt.Errorf("volcano: exchange partition %d open: %w", part, err)})
 		return
 	}
 	defer it.Close()
 	for {
+		if e.ctx != nil && e.ctx.Err() != nil {
+			// Cancellation-driven exit: do not produce past a dead
+			// query even if the queue has room.
+			return
+		}
 		item, err := it.Next()
 		if err == Done {
 			return
@@ -111,7 +144,8 @@ func (e *Exchange) produce(part int) {
 	}
 }
 
-// send delivers to the consumer unless the exchange was cancelled.
+// send delivers to the consumer unless the exchange was cancelled —
+// by Close (the consumer walked away) or by the bound query context.
 func (e *Exchange) send(x exchItem) bool {
 	select {
 	case e.ch <- x:
@@ -119,15 +153,34 @@ func (e *Exchange) send(x exchItem) bool {
 		return true
 	case <-e.cancel:
 		return false
+	case <-e.ctxDone():
+		return false
 	}
 }
 
-// Next implements Iterator.
+// Next implements Iterator. With a bound context, a cancelled query
+// returns the context's error rather than Done — a dead query must not
+// look like a cleanly exhausted stream.
 func (e *Exchange) Next() (Item, error) {
 	if !e.open {
 		return nil, ErrNotOpen
 	}
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
+		select {
+		case x, ok := <-e.ch:
+			return e.deliver(x, ok)
+		case <-e.ctx.Done():
+			return nil, e.ctx.Err()
+		}
+	}
 	x, ok := <-e.ch
+	return e.deliver(x, ok)
+}
+
+func (e *Exchange) deliver(x exchItem, ok bool) (Item, error) {
 	if !ok {
 		return nil, Done
 	}

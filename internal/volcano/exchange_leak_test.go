@@ -3,28 +3,16 @@ package volcano
 import (
 	"runtime"
 	"testing"
-	"time"
+
+	"revelation/internal/leakcheck"
 )
 
-// waitGoroutines polls until the goroutine count drops back to at most
-// want, or the deadline passes. Producer teardown is asynchronous with
-// Close returning, so a single instantaneous sample would flake.
+// waitGoroutines asserts the goroutine count drained back to at most
+// want; it delegates to the shared leak detector (internal/leakcheck),
+// which the query-cancellation chaos test reuses.
 func waitGoroutines(t *testing.T, want int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		n := runtime.NumGoroutine()
-		if n <= want {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			buf = buf[:runtime.Stack(buf, true)]
-			t.Fatalf("goroutines did not drain: %d > %d\n%s", n, want, buf)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	leakcheck.Check(t, want)
 }
 
 // TestExchangeEarlyCloseDrainsProducers is the regression test for the

@@ -78,8 +78,11 @@ func Count(it Iterator) (int, error) {
 	}
 }
 
-// Slice is a source operator over a fixed in-memory item slice.
+// Slice is a source operator over a fixed in-memory item slice. When
+// bound to a context (see Bind), Next observes cancellation, so even a
+// pure in-memory plan stops promptly.
 type Slice struct {
+	boundCtx
 	items []Item
 	pos   int
 	open  bool
@@ -109,6 +112,9 @@ func (s *Slice) Open() error {
 func (s *Slice) Next() (Item, error) {
 	if !s.open {
 		return nil, ErrNotOpen
+	}
+	if err := s.err(); err != nil {
+		return nil, err
 	}
 	if s.pos >= len(s.items) {
 		return nil, Done
