@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race race-core chaos-test crash-test fuzz-smoke bench figures trace-demo serve-demo examples cover clean
+.PHONY: all check build vet test test-race race-core chaos-test net-chaos-test crash-test fuzz-smoke bench figures trace-demo serve-demo examples cover clean
 
 all: check
 
@@ -31,6 +31,14 @@ race-core:
 # -count=2 reruns them so cross-run state leaks surface too.
 chaos-test:
 	$(GO) test -race -count=2 -run 'TestChaos|TestCancel|TestDeadline|TestExchangeCancellation|TestExchangeDeadline|TestTwoQueriesTinyPool|TestQuery' ./internal/bench ./internal/assembly ./internal/volcano ./internal/buffer ./internal/serve
+
+# The networked-page-service chaos suite under the race detector:
+# kill-the-primary mid-query with failover to a WAL-shipped replica,
+# replica crash/reconnect convergence, hedged reads against seeded
+# stalls, and client reconnects — all with goroutine-leak checks.
+# -count=2 reruns them so cross-run state leaks surface too.
+net-chaos-test:
+	$(GO) test -race -count=2 ./internal/pagesvc
 
 # The exhaustive crash-point sweep at a heavier workload than the
 # tier-1 default: every write ordinal is crashed twice (clean and

@@ -1,0 +1,131 @@
+// Command asmpaged serves a database device file (and optionally its
+// WAL) over the page-service wire protocol, so compute nodes running
+// asmquery/asmserve can stack their buffer pools and WAL writers on
+// pages that live in another process or on another machine.
+//
+// Primary — serve data pages and the log:
+//
+//	asmpaged -addr :7070 -db db.pages -wal db.wal
+//
+// Read replica — keep a local copy current by following the primary's
+// WAL, and serve it with the applied LSN published for the client's
+// failover staleness guard:
+//
+//	asmpaged -addr :7071 -db replica.pages -follow primary:7070
+//
+// Seed the replica file from a base backup (cp db.pages replica.pages)
+// for fast catch-up; an empty file also converges, it just replays the
+// whole log. On restart the applied-LSN watermark is primed from the
+// highest page LSN on the local device, so Follow resumes rather than
+// replaying from zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"revelation/internal/disk"
+	"revelation/internal/metrics"
+	"revelation/internal/page"
+	"revelation/internal/pagesvc"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "address to serve the page service on")
+	dbPath := flag.String("db", "db.pages", "data device file")
+	walPath := flag.String("wal", "", "WAL device file (primary mode; created if missing)")
+	follow := flag.String("follow", "", "primary address to follow as a read replica")
+	pageSize := flag.Int("page-size", disk.DefaultPageSize, "device page size in bytes")
+	metricsAddr := flag.String("metrics", "", "optional address serving /metrics (e.g. :9090)")
+	flag.Parse()
+
+	if *follow != "" && *walPath != "" {
+		fail("-wal and -follow are mutually exclusive: a replica receives the log over Follow")
+	}
+
+	reg := metrics.NewRegistry()
+	data, err := disk.OpenFile(*dbPath, *pageSize)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer data.Close()
+	data.RegisterMetrics(reg, "data")
+
+	devs := []disk.Device{data}
+	cfg := pagesvc.ServerConfig{Registry: reg}
+
+	var repl *pagesvc.Replica
+	switch {
+	case *follow != "":
+		repl = pagesvc.NewReplica(data, pagesvc.ReplicaConfig{
+			Primary:  *follow,
+			WALDev:   pagesvc.WALDev,
+			Registry: reg,
+		})
+		repl.SetAppliedLSN(maxPageLSN(data))
+		repl.Start()
+		defer repl.Close()
+		cfg.AppliedLSN = repl.AppliedLSN
+		fmt.Printf("asmpaged: replica of %s, resuming after LSN %d\n", *follow, repl.AppliedLSN())
+	case *walPath != "":
+		walDev, err := disk.OpenFile(*walPath, *pageSize)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer walDev.Close()
+		walDev.RegisterMetrics(reg, "wal")
+		devs = append(devs, walDev)
+		fmt.Printf("asmpaged: primary, %d data pages, %d WAL pages\n", data.NumPages(), walDev.NumPages())
+	default:
+		fmt.Printf("asmpaged: serving %d pages read-mostly (no WAL, no follow)\n", data.NumPages())
+	}
+
+	srv := pagesvc.NewServer(devs, cfg)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer srv.Close()
+	fmt.Printf("asmpaged: page service on %s\n", bound)
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "asmpaged: metrics: %v\n", err)
+			}
+		}()
+		fmt.Printf("asmpaged: metrics on %s/metrics\n", *metricsAddr)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Println("asmpaged: shutting down")
+}
+
+// maxPageLSN scans the device for the highest stamped page LSN — the
+// conservative replication watermark after a restart: every WAL record
+// at or below it has been applied to some page image on this device.
+func maxPageLSN(dev disk.Device) uint64 {
+	buf := make([]byte, dev.PageSize())
+	var max uint64
+	for p := 0; p < dev.NumPages(); p++ {
+		if err := dev.ReadPage(disk.PageID(p), buf); err != nil {
+			continue
+		}
+		if lsn := page.Wrap(buf).LSN(); lsn > max {
+			max = lsn
+		}
+	}
+	return max
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "asmpaged: "+format+"\n", args...)
+	os.Exit(1)
+}

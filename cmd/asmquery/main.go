@@ -19,8 +19,10 @@ import (
 	"strings"
 
 	"revelation/internal/assembly"
+	"revelation/internal/disk"
 	"revelation/internal/expr"
 	"revelation/internal/gen"
+	"revelation/internal/pagesvc"
 	"revelation/internal/query"
 	"revelation/internal/volcano"
 )
@@ -36,9 +38,16 @@ func main() {
 	bufferPages := flag.Int("buffer", 256, "buffer pool pages")
 	explain := flag.Bool("explain", true, "print the revealed plan")
 	deadline := flag.Duration("deadline", 0, "abort the revealed query after this long (0 = unbounded)")
+	pages := flag.String("pages", "", "comma-separated page-service endpoints, primary first (see cmd/asmpaged); replaces -db with networked pages, extra endpoints are hedge/failover replicas")
 	flag.Parse()
 
-	db, err := gen.OpenDatabase(*dbPath, *manifest, *bufferPages)
+	var db *gen.Database
+	var err error
+	if *pages != "" {
+		db, err = openNetworked(*pages, *manifest, *bufferPages)
+	} else {
+		db, err = gen.OpenDatabase(*dbPath, *manifest, *bufferPages)
+	}
 	if err != nil {
 		fail("open: %v", err)
 	}
@@ -133,6 +142,27 @@ func main() {
 	if naiveN >= 0 && revN >= 0 && naiveN != revN {
 		fail("plans disagree: naive %d, revealed %d", naiveN, revN)
 	}
+}
+
+// openNetworked opens the database over a page service instead of a
+// local device file: the buffer pool stacks on a pagesvc client, so
+// the query plan below is identical — only the page source moves.
+func openNetworked(endpoints, manifestPath string, bufferPages int) (*gen.Database, error) {
+	eps := strings.Split(endpoints, ",")
+	mp, err := gen.LoadManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	client, err := pagesvc.Dial(pagesvc.ClientConfig{
+		Primary:  eps[0],
+		Replicas: eps[1:],
+		Dev:      pagesvc.DataDev,
+		Retry:    disk.DefaultRetryPolicy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return gen.OpenDatabaseOn(client, mp, bufferPages)
 }
 
 func fail(format string, args ...any) {

@@ -37,14 +37,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"revelation/internal/assembly"
 	"revelation/internal/bench"
+	"revelation/internal/disk"
 	"revelation/internal/expr"
 	"revelation/internal/gen"
 	"revelation/internal/metrics"
+	"revelation/internal/pagesvc"
 	"revelation/internal/query"
 	"revelation/internal/serve"
 	"revelation/internal/volcano"
@@ -59,6 +62,7 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 4, "max in-flight /query requests; excess sheds with 503")
 	queryTimeout := flag.Duration("query-timeout", 5*time.Second, "default /query deadline (?deadline= overrides)")
 	queryWindow := flag.Int("query-window", 10, "assembly window for /query requests")
+	pages := flag.String("pages", "", "comma-separated page-service endpoints, primary first (see cmd/asmpaged); /query pages are restored to and read from the service instead of local memory")
 	flag.Parse()
 
 	reg := metrics.NewRegistry()
@@ -70,7 +74,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
 		os.Exit(2)
 	}
-	queryFn, err := queryWorkload(reg, *scale, *queryWindow)
+	queryFn, err := queryWorkload(reg, *scale, *queryWindow, *pages)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
 		os.Exit(2)
@@ -137,7 +141,7 @@ func main() {
 // and the pool serializes frame traffic, so concurrent requests are
 // safe — the interesting contention (frames) is what reservations and
 // bounded pin waits manage.
-func queryWorkload(reg *metrics.Registry, scale float64, window int) (func(ctx context.Context) (string, error), error) {
+func queryWorkload(reg *metrics.Registry, scale float64, window int, pages string) (func(ctx context.Context) (string, error), error) {
 	size := int(1000 * scale)
 	if size < 100 {
 		size = 100
@@ -150,6 +154,15 @@ func queryWorkload(reg *metrics.Registry, scale float64, window int) (func(ctx c
 	})
 	if err != nil {
 		return nil, err
+	}
+	if pages != "" {
+		// Restore the generated pages onto the page service through its
+		// write path, then reopen the database over the network: every
+		// /query from here on reads remote pages, hedging and failing
+		// over exactly like the test harness.
+		if db, err = pushToService(reg, db, pages); err != nil {
+			return nil, err
+		}
 	}
 	db.Pool.RegisterMetrics(reg, "queryserve")
 	if window < 1 {
@@ -182,6 +195,54 @@ func queryWorkload(reg *metrics.Registry, scale float64, window int) (func(ctx c
 		return fmt.Sprintf("assembled %d of %d complex objects in %s",
 			len(items), len(db.Roots), time.Since(start).Round(time.Millisecond)), nil
 	}, nil
+}
+
+// pushToService base-restores db's pages onto the page service at the
+// first endpoint and reopens the database over a pagesvc client, so
+// the pool underneath /query reads networked pages. Extra endpoints
+// become hedge/failover replicas.
+func pushToService(reg *metrics.Registry, db *gen.Database, endpoints string) (*gen.Database, error) {
+	if err := db.Pool.FlushAll(); err != nil {
+		return nil, err
+	}
+	eps := strings.Split(endpoints, ",")
+	client, err := pagesvc.Dial(pagesvc.ClientConfig{
+		Primary:  eps[0],
+		Replicas: eps[1:],
+		Dev:      pagesvc.DataDev,
+		Retry:    disk.DefaultRetryPolicy,
+		Registry: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if db.Device.PageSize() != client.PageSize() {
+		return nil, fmt.Errorf("page service serves %d-byte pages, database has %d", client.PageSize(), db.Device.PageSize())
+	}
+	if n := db.Device.NumPages() - client.NumPages(); n > 0 {
+		if _, err := client.Allocate(n); err != nil {
+			return nil, err
+		}
+	}
+	buf := make([]byte, db.Device.PageSize())
+	for p := 0; p < db.Device.NumPages(); p++ {
+		if err := db.Device.ReadPage(disk.PageID(p), buf); err != nil {
+			return nil, err
+		}
+		if err := client.WritePage(disk.PageID(p), buf); err != nil {
+			return nil, err
+		}
+	}
+	manifest := filepath.Join(os.TempDir(), fmt.Sprintf("asmserve-%d.manifest", os.Getpid()))
+	if err := db.SaveManifest(manifest); err != nil {
+		return nil, err
+	}
+	defer os.Remove(manifest)
+	mp, err := gen.LoadManifest(manifest)
+	if err != nil {
+		return nil, err
+	}
+	return gen.OpenDatabaseOn(client, mp, 256)
 }
 
 // workload maps a figure id to a closure running it once.

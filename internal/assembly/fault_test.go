@@ -405,3 +405,35 @@ func TestWindowShrinksUnderBufferPressure(t *testing.T) {
 		t.Errorf("%d pinned frames after drain", n)
 	}
 }
+
+// TestTransientExhaustionSurfacesNotQuarantines: under RetryFaults a
+// fault that is still transient after the retry budget — a flapping
+// path to the device, not a dead page — must surface as an error, not
+// poison the complex object into quarantine.
+func TestTransientExhaustionSurfacesNotQuarantines(t *testing.T) {
+	w := buildFaultWorld(t, 20, 31)
+	// Endless transient faults: no retry budget can outlast them.
+	w.dev.SetConfig(disk.FaultConfig{Seed: 9, TransientRate: 0.2, TransientFailures: 1 << 30})
+	if err := w.db.Pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	op := assembly.New(rootsSource(w.db.Roots), w.db.Store, w.db.Template,
+		assembly.Options{Window: 4, FaultPolicy: assembly.RetryFaults, MaxRefRetries: 2})
+	_, err := volcano.Drain(op)
+	if err == nil {
+		t.Fatal("assembly over an endlessly flapping device succeeded")
+	}
+	if !disk.Retryable(err) {
+		t.Fatalf("surfaced error %v is not retryable — transient class lost", err)
+	}
+	if got := op.Stats().Skipped; got != 0 {
+		t.Errorf("Skipped = %d, want 0: transient exhaustion must not quarantine", got)
+	}
+
+	// Sanity: with the faults cleared, the same run assembles everything.
+	w.dev.SetConfig(disk.FaultConfig{})
+	got, st := w.runFaulted(t, assembly.Options{Window: 4, FaultPolicy: assembly.RetryFaults})
+	if len(got) != len(w.db.Roots) || st.Skipped != 0 {
+		t.Errorf("clean re-run: assembled %d/%d, skipped %d", len(got), len(w.db.Roots), st.Skipped)
+	}
+}

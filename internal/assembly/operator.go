@@ -53,8 +53,9 @@ type Options struct {
 	// fetching referenced components. The default (FailFast) is the
 	// paper's implicit behavior: any error aborts the whole operator.
 	FaultPolicy FaultPolicy
-	// MaxRefRetries bounds per-reference retries under RetryFaults
-	// before the complex object is quarantined; values < 1 mean 3.
+	// MaxRefRetries bounds per-reference retries under RetryFaults;
+	// values < 1 mean 3. Exhausting the budget on a still-transient
+	// error surfaces the error; only permanent faults quarantine.
 	MaxRefRetries int
 	// Tracer, when non-nil, receives an assembly event for every window
 	// admission, scheduling decision, fetch, link, emission, abort,
@@ -95,8 +96,11 @@ const (
 	// counted in Stats.Skipped while the rest of the window proceeds.
 	SkipObject
 	// RetryFaults retries transiently failed references (bounded by
-	// MaxRefRetries) before falling back to SkipObject. Permanent
-	// faults skip immediately.
+	// MaxRefRetries). Permanent faults quarantine the complex object
+	// immediately (as SkipObject); a transient fault that outlives the
+	// retry budget surfaces as an error instead — the page is not
+	// poisoned, because the fault is in the path to the device (e.g. a
+	// flapping network connection), not in the page.
 	RetryFaults
 )
 
@@ -783,14 +787,22 @@ func (op *Operator) refFault(ref *Ref, cause error) error {
 	}
 	switch op.Opts.FaultPolicy {
 	case RetryFaults:
-		if disk.Retryable(cause) && ref.Attempts < op.maxRefRetries() {
-			ref.Attempts++
-			op.stats.FaultRetries++
-			op.cells.faultRetries.Inc()
-			op.tr.Assembly(trace.KindRetry, uint64(ref.OID), int64(ref.RID.Page), trace.NoPage, "")
-			item.pending++
-			op.dispatch(ref)
-			return nil
+		if disk.Retryable(cause) {
+			if ref.Attempts < op.maxRefRetries() {
+				ref.Attempts++
+				op.stats.FaultRetries++
+				op.cells.faultRetries.Inc()
+				op.tr.Assembly(trace.KindRetry, uint64(ref.OID), int64(ref.RID.Page), trace.NoPage, "")
+				item.pending++
+				op.dispatch(ref)
+				return nil
+			}
+			// The retry budget ran out but the fault is still transient
+			// — a flapping connection, not a dead page. Quarantine is
+			// reserved for pages the device has declared unrecoverable;
+			// poisoning this object would wrongly pin the blame on it,
+			// so the error surfaces to the caller instead.
+			return cause
 		}
 		return op.quarantine(item)
 	case SkipObject:

@@ -52,6 +52,14 @@ type Stats struct {
 	Retries       int64 // device accesses repeated after transient faults
 	ChecksumFails int64 // page reads rejected by checksum verification
 	PeakPins      int   // high-water mark of simultaneously pinned frames
+
+	// Terminal device-access failures, classified. A transient error here
+	// means the retry budget ran out while the fault could still clear
+	// (e.g. a flapping network connection); a permanent error means the
+	// device declared the page unrecoverable. Callers deciding whether to
+	// quarantine a page should look at the class, not just the failure.
+	TransientErrors int64 // accesses that exhausted retries on a retryable error
+	PermanentErrors int64 // accesses that failed with a non-retryable error
 }
 
 // HitRate returns Hits / (Hits+Faults), or zero before any request.
@@ -68,13 +76,15 @@ func (s Stats) HitRate() float64 {
 // is a high-water mark, not a counter; the result carries s's value.
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		Hits:          s.Hits - prev.Hits,
-		Faults:        s.Faults - prev.Faults,
-		Evictions:     s.Evictions - prev.Evictions,
-		Flushes:       s.Flushes - prev.Flushes,
-		Retries:       s.Retries - prev.Retries,
-		ChecksumFails: s.ChecksumFails - prev.ChecksumFails,
-		PeakPins:      s.PeakPins,
+		Hits:            s.Hits - prev.Hits,
+		Faults:          s.Faults - prev.Faults,
+		Evictions:       s.Evictions - prev.Evictions,
+		Flushes:         s.Flushes - prev.Flushes,
+		Retries:         s.Retries - prev.Retries,
+		ChecksumFails:   s.ChecksumFails - prev.ChecksumFails,
+		PeakPins:        s.PeakPins,
+		TransientErrors: s.TransientErrors - prev.TransientErrors,
+		PermanentErrors: s.PermanentErrors - prev.PermanentErrors,
 	}
 }
 
@@ -147,6 +157,8 @@ type Pool struct {
 	flushes       metrics.Counter
 	retries       metrics.Counter
 	checksumFails metrics.Counter
+	transientErrs metrics.Counter
+	permanentErrs metrics.Counter
 	pinned        metrics.Gauge // frames with at least one pin, live
 	peakPins      metrics.Gauge // high-water mark of pinned
 
@@ -190,13 +202,15 @@ func (p *Pool) Device() disk.Device { return p.dev }
 // metrics scraper while fixes are in flight.
 func (p *Pool) Stats() Stats {
 	return Stats{
-		Hits:          p.hits.Value(),
-		Faults:        p.faults.Value(),
-		Evictions:     p.evictions.Value(),
-		Flushes:       p.flushes.Value(),
-		Retries:       p.retries.Value(),
-		ChecksumFails: p.checksumFails.Value(),
-		PeakPins:      int(p.peakPins.Value()),
+		Hits:            p.hits.Value(),
+		Faults:          p.faults.Value(),
+		Evictions:       p.evictions.Value(),
+		Flushes:         p.flushes.Value(),
+		Retries:         p.retries.Value(),
+		ChecksumFails:   p.checksumFails.Value(),
+		PeakPins:        int(p.peakPins.Value()),
+		TransientErrors: p.transientErrs.Value(),
+		PermanentErrors: p.permanentErrs.Value(),
 	}
 }
 
@@ -208,6 +222,8 @@ func (p *Pool) ResetStats() {
 	p.flushes.Reset()
 	p.retries.Reset()
 	p.checksumFails.Reset()
+	p.transientErrs.Reset()
+	p.permanentErrs.Reset()
 	p.peakPins.Reset()
 }
 
@@ -221,6 +237,8 @@ func (p *Pool) RegisterMetrics(r *metrics.Registry, pool string) {
 	r.Attach("asm_buffer_flushes_total", "Dirty page write-backs.", &p.flushes, "pool", pool)
 	r.Attach("asm_buffer_retries_total", "Device accesses repeated after transient faults.", &p.retries, "pool", pool)
 	r.Attach("asm_checksum_failures_total", "Page reads rejected by checksum verification.", &p.checksumFails, "pool", pool)
+	r.Attach("asm_buffer_io_errors_total", "Terminal device-access failures by class.", &p.transientErrs, "pool", pool, "class", "transient")
+	r.Attach("asm_buffer_io_errors_total", "Terminal device-access failures by class.", &p.permanentErrs, "pool", pool, "class", "permanent")
 	r.Attach("asm_buffer_pinned_frames", "Frames with at least one pin, live.", &p.pinned, "pool", pool)
 	r.Attach("asm_buffer_peak_pinned_frames", "High-water mark of pinned frames.", &p.peakPins, "pool", pool)
 	r.Attach("asm_buffer_frames", "Total frames in the pool.",
@@ -271,6 +289,7 @@ func (p *Pool) SetRetry(rp disk.RetryPolicy) {
 func (p *Pool) readLocked(id disk.PageID, buf []byte) error {
 	retries, err := p.retry.Do(func() error { return p.dev.ReadPage(id, buf) })
 	p.retries.Add(int64(retries))
+	p.classifyErr(err)
 	return err
 }
 
@@ -278,7 +297,23 @@ func (p *Pool) readLocked(id disk.PageID, buf []byte) error {
 func (p *Pool) writeLocked(id disk.PageID, buf []byte) error {
 	retries, err := p.retry.Do(func() error { return p.dev.WritePage(id, buf) })
 	p.retries.Add(int64(retries))
+	p.classifyErr(err)
 	return err
+}
+
+// classifyErr counts a terminal device-access failure by class. An
+// error that is still disk.Retryable after the budget ran out is
+// transient — the page is fine, the path to it was flapping — while
+// anything else is treated as permanent damage.
+func (p *Pool) classifyErr(err error) {
+	if err == nil {
+		return
+	}
+	if disk.Retryable(err) {
+		p.transientErrs.Inc()
+	} else {
+		p.permanentErrs.Inc()
+	}
 }
 
 // PinnedFrames counts currently pinned frames. The count is maintained

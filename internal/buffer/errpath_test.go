@@ -98,3 +98,51 @@ func TestDoubleUnfixKeepsFrameTable(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestErrorClassification: terminal device failures are counted by
+// class so callers can tell a flapping path (transient exhausted)
+// from a dead page (permanent).
+func TestErrorClassification(t *testing.T) {
+	sim := disk.New(8)
+	dev := disk.NewFaulty(sim, disk.FaultConfig{})
+	p := New(dev, 4, LRU)
+	p.SetRetry(disk.RetryPolicy{MaxAttempts: 2})
+
+	// Endless transient faults on every read: the retry budget runs
+	// out while the error is still retryable.
+	dev.SetConfig(disk.FaultConfig{Seed: 1, TransientRate: 1, TransientFailures: 100})
+	if _, err := p.Fix(0); err == nil || !disk.Retryable(err) {
+		t.Fatalf("Fix = %v, want retryable error", err)
+	}
+	st := p.Stats()
+	if st.TransientErrors != 1 || st.PermanentErrors != 0 {
+		t.Errorf("after transient exhaustion: %+v", st)
+	}
+
+	// Permanent faults classify on the other side.
+	dev.SetConfig(disk.FaultConfig{Seed: 1, PermanentRate: 1})
+	if _, err := p.Fix(1); err == nil || disk.Retryable(err) {
+		t.Fatalf("Fix = %v, want permanent error", err)
+	}
+	st = p.Stats()
+	if st.TransientErrors != 1 || st.PermanentErrors != 1 {
+		t.Errorf("after permanent fault: %+v", st)
+	}
+
+	// A clean read counts in neither class.
+	dev.SetConfig(disk.FaultConfig{})
+	f, err := p.Fix(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unfix(f, false); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats()
+	if st.TransientErrors != 1 || st.PermanentErrors != 1 {
+		t.Errorf("clean read changed error classes: %+v", st)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

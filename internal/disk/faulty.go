@@ -26,11 +26,22 @@ type FaultConfig struct {
 	// PermanentRate is the fraction of pages that always fail with
 	// ErrPermanent (0..1). Permanent wins over transient on overlap.
 	PermanentRate float64
-	// LatencyRate is the fraction of accesses delayed by Latency — a
-	// latency spike model for timing-sensitive callers (0..1).
+	// LatencyRate is the fraction of pages whose accesses are delayed
+	// by Latency — a latency spike model for timing-sensitive callers
+	// (0..1). Like the error rates, the decision is a pure function of
+	// (Seed, page id): a spiky page is always spiky, so timeout and
+	// hedging paths are testable deterministically.
 	LatencyRate float64
 	// Latency is the injected spike duration.
 	Latency time.Duration
+	// StallRate is the fraction of pages whose accesses stall for
+	// Stall — the slow-read/straggler model (a wedged server, a deep
+	// queue) as opposed to LatencyRate's short spikes. Seeded per page
+	// like every other decision, so a hedging client can be pointed at
+	// a page that is known to stall. Stalled accesses still succeed.
+	StallRate float64
+	// Stall is the injected stall duration.
+	Stall time.Duration
 	// Writes extends injection to WritePage; by default only reads
 	// fault, which matches the assembly workload (read-dominated).
 	Writes bool
@@ -41,6 +52,7 @@ type FaultStats struct {
 	Transient int64 // transient errors injected
 	Permanent int64 // permanent errors injected
 	Latency   int64 // latency spikes injected
+	Stalls    int64 // stalls injected
 }
 
 // Faulty wraps any Device with deterministic, seeded fault injection.
@@ -69,6 +81,7 @@ type Faulty struct {
 	transient metrics.Counter
 	permanent metrics.Counter
 	latency   metrics.Counter
+	stalls    metrics.Counter
 }
 
 // NewFaulty wraps dev with the given fault configuration.
@@ -99,6 +112,7 @@ func (f *Faulty) SetConfig(cfg FaultConfig) {
 	f.transient.Reset()
 	f.permanent.Reset()
 	f.latency.Reset()
+	f.stalls.Reset()
 }
 
 // SetCrash attaches a crash point. Pass the same *CrashPoint to every
@@ -132,6 +146,7 @@ func (f *Faulty) FaultStats() FaultStats {
 		Transient: f.transient.Value(),
 		Permanent: f.permanent.Value(),
 		Latency:   f.latency.Value(),
+		Stalls:    f.stalls.Value(),
 	}
 }
 
@@ -145,6 +160,8 @@ func (f *Faulty) RegisterMetrics(r *metrics.Registry, dev string) {
 		&f.permanent, "dev", dev, "class", "permanent")
 	r.Attach("asm_disk_latency_spikes_total", "Injected latency spikes.",
 		&f.latency, "dev", dev)
+	r.Attach("asm_disk_stalls_total", "Injected slow-access stalls.",
+		&f.stalls, "dev", dev)
 	RegisterMetrics(f.dev, r, dev)
 }
 
@@ -154,6 +171,7 @@ const (
 	saltTransient = 0xC2B2AE3D27D4EB4F
 	saltLatency   = 0x165667B19E3779F9
 	saltTear      = 0x27D4EB2F165667C5
+	saltStall     = 0x94D049BB133111EB
 )
 
 // mix is splitmix64: a cheap, well-distributed hash of the decision
@@ -192,6 +210,27 @@ func (f *Faulty) transientLocked(p PageID) bool {
 	return f.cfg.TransientRate > 0 && mix(f.cfg.Seed, p, saltTransient) < f.cfg.TransientRate
 }
 
+// Stalled reports whether accesses to page p stall under the current
+// configuration. Hedging tests use it to find a page that is known to
+// be slow without timing anything.
+func (f *Faulty) Stalled(p PageID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stalledLocked(p)
+}
+
+func (f *Faulty) stalledLocked(p PageID) bool {
+	return f.cfg.StallRate > 0 && mix(f.cfg.Seed, p, saltStall) < f.cfg.StallRate
+}
+
+// LatencySpiky reports whether accesses to page p take a latency spike
+// under the current configuration.
+func (f *Faulty) LatencySpiky(p PageID) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cfg.LatencyRate > 0 && mix(f.cfg.Seed, p, saltLatency) < f.cfg.LatencyRate
+}
+
 // inject decides the fate of one access before it reaches the device.
 func (f *Faulty) inject(p PageID, write bool) error {
 	f.mu.Lock()
@@ -203,6 +242,10 @@ func (f *Faulty) inject(p PageID, write bool) error {
 	if f.cfg.LatencyRate > 0 && mix(f.cfg.Seed, p, saltLatency) < f.cfg.LatencyRate {
 		f.latency.Inc()
 		delay = f.cfg.Latency
+	}
+	if f.stalledLocked(p) {
+		f.stalls.Inc()
+		delay += f.cfg.Stall
 	}
 	var err error
 	var class string

@@ -184,3 +184,63 @@ func TestRetryPolicyBackoffAndDo(t *testing.T) {
 		t.Errorf("zero policy: calls=%d err=%v", calls, err)
 	}
 }
+
+// TestStallFaults: stall injection is deterministic per page, delays
+// the access without failing it, and is counted separately from
+// latency spikes and error faults.
+func TestStallFaults(t *testing.T) {
+	dev := New(64)
+	f := NewFaulty(dev, FaultConfig{
+		Seed:      7,
+		StallRate: 0.25,
+		Stall:     5 * time.Millisecond,
+	})
+
+	// Find one stalled and one clean page; the seeded decision must be
+	// stable across calls.
+	stalled, clean := PageID(InvalidPage), PageID(InvalidPage)
+	for p := PageID(0); int(p) < dev.NumPages(); p++ {
+		if f.Stalled(p) {
+			stalled = p
+		} else {
+			clean = p
+		}
+	}
+	if stalled == InvalidPage || clean == InvalidPage {
+		t.Fatalf("degenerate stall set: stalled=%v clean=%v", stalled, clean)
+	}
+	if !f.Stalled(stalled) || f.Stalled(clean) {
+		t.Fatal("stall decision is not stable")
+	}
+
+	buf := make([]byte, dev.PageSize())
+	start := time.Now()
+	if err := f.ReadPage(stalled, buf); err != nil {
+		t.Fatalf("stalled read failed: %v", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Errorf("stalled read took %v, want >= 5ms", d)
+	}
+	if err := f.ReadPage(clean, buf); err != nil {
+		t.Fatalf("clean read failed: %v", err)
+	}
+	st := f.FaultStats()
+	if st.Stalls != 1 {
+		t.Errorf("Stalls = %d, want 1", st.Stalls)
+	}
+	if st.Latency != 0 || st.Transient != 0 || st.Permanent != 0 {
+		t.Errorf("stall leaked into other counters: %+v", st)
+	}
+
+	// Writes are exempt unless Writes is set, matching the error paths.
+	start = time.Now()
+	if err := f.WritePage(stalled, buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if d := time.Since(start); d >= 5*time.Millisecond {
+		t.Errorf("write stalled for %v with Writes unset", d)
+	}
+	if got := f.FaultStats().Stalls; got != 1 {
+		t.Errorf("write bumped Stalls to %d", got)
+	}
+}

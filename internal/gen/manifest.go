@@ -116,12 +116,19 @@ func OpenDatabase(devicePath, manifestPath string, bufferPages int) (*Database, 
 	if err != nil {
 		return nil, err
 	}
-	m := *mp
-
-	dev, err := disk.OpenFile(devicePath, m.PageSize)
+	dev, err := disk.OpenFile(devicePath, mp.PageSize)
 	if err != nil {
 		return nil, err
 	}
+	return OpenDatabaseOn(dev, mp, bufferPages)
+}
+
+// OpenDatabaseOn rebuilds a database's catalog, locator, store, and
+// template over an already-open device holding its pages — a local
+// file, or a pagesvc client whose pages live across the network. The
+// device is adopted: the returned Database's Close tears it down.
+func OpenDatabaseOn(dev disk.Device, mp *Manifest, bufferPages int) (*Database, error) {
+	m := *mp
 	if bufferPages <= 0 {
 		bufferPages = m.FileNPages + 128
 	}

@@ -1,0 +1,266 @@
+package pagesvc
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"revelation/internal/assembly"
+	"revelation/internal/disk"
+	"revelation/internal/gen"
+	"revelation/internal/leakcheck"
+	"revelation/internal/metrics"
+	"revelation/internal/object"
+	"revelation/internal/trace"
+	"revelation/internal/volcano"
+	"revelation/internal/wal"
+)
+
+// render flattens an assembled instance into a canonical string so two
+// runs can be compared for exact equality.
+func render(in *assembly.Instance) string {
+	out := fmt.Sprintf("%d(", uint64(in.OID()))
+	for _, c := range in.Children {
+		if c == nil {
+			out += "-,"
+			continue
+		}
+		out += render(c) + ","
+	}
+	return out + ")"
+}
+
+func rootsIter(roots []object.OID) volcano.Iterator {
+	items := make([]volcano.Item, len(roots))
+	for i, r := range roots {
+		items[i] = r
+	}
+	return volcano.NewSlice(items)
+}
+
+// copyPages base-backs-up src onto dst (both fresh-size devices).
+func copyPages(t *testing.T, src, dst disk.Device) {
+	t.Helper()
+	if n := src.NumPages() - dst.NumPages(); n > 0 {
+		if _, err := dst.Allocate(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, src.PageSize())
+	for p := 0; p < src.NumPages(); p++ {
+		if err := src.ReadPage(disk.PageID(p), buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.WritePage(disk.PageID(p), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestNetChaosKillPrimary is the tentpole acceptance test: a full
+// assembly query runs over the network page service while the primary
+// is killed mid-query. The client must fail over to the WAL-shipped
+// replica (which satisfies the durable-LSN staleness floor) and finish
+// the query with results byte-identical to the fault-free oracle, with
+// zero goroutine or pin leaks and the client's own counters, the
+// metrics registry, and the trace replay in agreement.
+func TestNetChaosKillPrimary(t *testing.T) {
+	before := leakcheck.Snapshot()
+
+	// Build the database locally and capture the fault-free oracle.
+	db, err := gen.Build(gen.Config{
+		NumComplexObjects: 150,
+		Clustering:        gen.Unclustered,
+		Seed:              1991,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleOp := assembly.New(rootsIter(db.Roots), db.Store, db.Template,
+		assembly.Options{Window: 8, Scheduler: assembly.Elevator})
+	oracleItems, err := volcano.Drain(oracleOp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := map[object.OID]string{}
+	for _, it := range oracleItems {
+		inst := it.(*assembly.Instance)
+		oracle[inst.OID()] = render(inst)
+	}
+	manifest := filepath.Join(t.TempDir(), "manifest")
+	if err := db.SaveManifest(manifest); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Base backup onto the primary and the replica; the primary also
+	// gets an empty WAL device.
+	primData := disk.New(0)
+	replData := disk.New(0)
+	copyPages(t, db.Device, primData)
+	copyPages(t, db.Device, replData)
+	walDev := disk.New(0)
+
+	primSrv := NewServer([]disk.Device{primData, walDev}, ServerConfig{})
+	primAddr, err := primSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl := NewReplica(replData, ReplicaConfig{Primary: primAddr, WALDev: WALDev})
+	replSrv := NewServer([]disk.Device{replData}, ServerConfig{AppliedLSN: repl.AppliedLSN})
+	replAddr, err := replSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replSrv.Close()
+	replDone := repl.Start()
+	var stopOnce sync.Once
+	stopRepl := func() {
+		stopOnce.Do(func() {
+			repl.Close()
+			<-replDone
+		})
+	}
+	defer stopRepl()
+
+	// The compute node: WAL writer and buffer pool both stacked on
+	// network devices, exactly as they stack on local ones.
+	retry := disk.RetryPolicy{MaxAttempts: 6, BaseBackoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	walClient, err := Dial(ClientConfig{Primary: primAddr, Dev: WALDev, Retry: retry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	netWAL, err := wal.Open(walClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	col := trace.NewCollector()
+	tr := trace.New(col)
+	dataClient, err := Dial(ClientConfig{
+		Primary:  primAddr,
+		Replicas: []string{replAddr},
+		Dev:      DataDev,
+		Retry:    retry,
+		Timeout:  time.Second,
+		LSNFloor: netWAL.DurableLSN,
+		Tracer:   tr,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := gen.LoadManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netDB, err := gen.OpenDatabaseOn(dataClient, mp, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netDB.Pool.SetWAL(netWAL)
+	netDB.Pool.SetRetry(retry)
+
+	// Dirty one page through the network WAL so the durable LSN — the
+	// failover staleness floor — is nonzero, then wait for the replica
+	// to prove it has caught up past it.
+	f, err := netDB.Pool.Fix(disk.PageID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netDB.Pool.Unfix(f, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := netDB.Pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if netWAL.DurableLSN() == 0 {
+		t.Fatal("durable LSN still zero after a flush")
+	}
+	waitApplied(t, repl, netWAL.DurableLSN())
+
+	// Kill the primary once the query is demonstrably under way.
+	if err := netDB.Pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		deadline := time.Now().Add(10 * time.Second)
+		for dataClient.Stats().Reads < 20 {
+			if time.Now().After(deadline) {
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		primSrv.Close()
+	}()
+
+	op := assembly.New(rootsIter(netDB.Roots), netDB.Store, netDB.Template,
+		assembly.Options{Window: 8, Scheduler: assembly.Elevator, FaultPolicy: assembly.RetryFaults, Tracer: tr})
+	items, err := volcano.Drain(op)
+	<-killed
+	if err != nil {
+		t.Fatalf("query did not survive the primary's death: %v", err)
+	}
+
+	// Byte-identical to the fault-free oracle, nothing lost.
+	if len(items) != len(oracle) {
+		t.Fatalf("assembled %d complex objects, oracle has %d", len(items), len(oracle))
+	}
+	for _, it := range items {
+		inst := it.(*assembly.Instance)
+		want, ok := oracle[inst.OID()]
+		if !ok {
+			t.Fatalf("assembled unknown root %v", inst.OID())
+		}
+		if got := render(inst); got != want {
+			t.Errorf("root %v diverges from oracle:\n got %s\nwant %s", inst.OID(), got, want)
+		}
+	}
+
+	// The failover actually happened and respected the LSN floor.
+	if got := dataClient.FailedOver(); got != replAddr {
+		t.Errorf("read target = %q, want replica %q", got, replAddr)
+	}
+	if dataClient.failovers.Value() < 1 {
+		t.Error("no failover counted")
+	}
+
+	// Three-way agreement: the client's own counters, the metrics
+	// registry cells, and the trace replay all describe the same run.
+	rep := trace.ReplayEvents(col.Events())
+	if rep.NetSends != dataClient.sends.Value() {
+		t.Errorf("trace sends %d != client sends %d", rep.NetSends, dataClient.sends.Value())
+	}
+	if rep.NetRecvs != dataClient.recvs.Value() {
+		t.Errorf("trace recvs %d != client recvs %d", rep.NetRecvs, dataClient.recvs.Value())
+	}
+	if rep.Failovers != dataClient.failovers.Value() {
+		t.Errorf("trace failovers %d != client failovers %d", rep.Failovers, dataClient.failovers.Value())
+	}
+	// The registry observes the same cells the client updates, so a
+	// scrape equality on each family closes the loop.
+	snap := reg.Snapshot()
+	if got := snap.Value("asm_net_sends_total", "dev", "net0"); got != dataClient.sends.Value() {
+		t.Errorf("registry sends %d != client sends %d", got, dataClient.sends.Value())
+	}
+	if got := snap.Value("asm_net_failovers_total", "dev", "net0"); got != dataClient.failovers.Value() {
+		t.Errorf("registry failovers %d != client failovers %d", got, dataClient.failovers.Value())
+	}
+
+	// Books at zero: no pinned frames, no goroutine leaks.
+	if got := netDB.Pool.PinnedFrames(); got != 0 {
+		t.Errorf("pinned frames after query = %d, want 0", got)
+	}
+	walClient.Close()
+	dataClient.Close()
+	stopRepl()
+	replSrv.Close()
+	leakcheck.CheckWithin(t, before, 5*time.Second)
+}

@@ -1,0 +1,136 @@
+package pagesvc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"revelation/internal/disk"
+	"revelation/internal/trace"
+)
+
+// hedgeWorld is a primary whose device stalls on seeded pages plus a
+// clean replica holding the same data.
+func hedgeWorld(t *testing.T, pages int, stall time.Duration) (*disk.Faulty, string, string) {
+	t.Helper()
+	prim := disk.New(pages)
+	repl := disk.New(pages)
+	ps := prim.PageSize()
+	img := make([]byte, ps)
+	for i := 0; i < pages; i++ {
+		for j := range img {
+			img[j] = byte(i * 3)
+		}
+		if err := prim.WritePage(disk.PageID(i), img); err != nil {
+			t.Fatal(err)
+		}
+		if err := repl.WritePage(disk.PageID(i), img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fd := disk.NewFaulty(prim, disk.FaultConfig{Seed: 42, StallRate: 0.2, Stall: stall})
+	_, primAddr := startServer(t, []disk.Device{fd}, ServerConfig{})
+	_, replAddr := startServer(t, []disk.Device{repl}, ServerConfig{})
+	return fd, primAddr, replAddr
+}
+
+// TestHedgedReadBeatsStall: a read of a stalled page is hedged to the
+// replica after the configured delay and completes far sooner than the
+// stall, with the hedge counted and traced.
+func TestHedgedReadBeatsStall(t *testing.T) {
+	const stall = 300 * time.Millisecond
+	fd, primAddr, replAddr := hedgeWorld(t, 32, stall)
+
+	col := trace.NewCollector()
+	c := dialT(t, ClientConfig{
+		Primary:    primAddr,
+		Replicas:   []string{replAddr},
+		HedgeAfter: 5 * time.Millisecond,
+		Tracer:     trace.New(col),
+	})
+
+	// The stall set is seeded and deterministic: pick one stalled page
+	// and one clean page via the predicate, no timing needed.
+	stalled, clean := disk.InvalidPage, disk.InvalidPage
+	for p := disk.PageID(0); int(p) < 32; p++ {
+		if fd.Stalled(p) {
+			stalled = p
+		} else {
+			clean = p
+		}
+	}
+	if stalled == disk.InvalidPage || clean == disk.InvalidPage {
+		t.Fatal("degenerate stall set")
+	}
+
+	buf := make([]byte, c.PageSize())
+	want := make([]byte, c.PageSize())
+	for j := range want {
+		want[j] = byte(int(stalled) * 3)
+	}
+	start := time.Now()
+	if err := c.ReadPage(stalled, buf); err != nil {
+		t.Fatalf("hedged read: %v", err)
+	}
+	if d := time.Since(start); d >= stall {
+		t.Errorf("hedged read took %v, stall is %v — hedge never fired", d, stall)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Error("hedged read returned wrong image")
+	}
+	if got := c.hedges.Value(); got != 1 {
+		t.Errorf("hedges = %d, want 1", got)
+	}
+	if got := c.hedgeWins.Value(); got != 1 {
+		t.Errorf("hedge wins = %d, want 1", got)
+	}
+
+	// A clean read must not hedge.
+	if err := c.ReadPage(clean, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.hedges.Value(); got != 1 {
+		t.Errorf("clean read hedged: hedges = %d", got)
+	}
+
+	// The trace saw the hedge: sends to both endpoints, one hedge event
+	// naming the replica.
+	rep := trace.ReplayEvents(col.Events())
+	if rep.Hedges != 1 {
+		t.Errorf("replayed hedges = %d, want 1", rep.Hedges)
+	}
+	if rep.NetSends < 3 { // info + 2 reads + hedge, minus any coalescing
+		t.Errorf("replayed sends = %d, want >= 3", rep.NetSends)
+	}
+}
+
+// TestAdaptiveHedgeDelay: with no fixed HedgeAfter the client learns
+// the latency distribution; until the warm-up sample exists it never
+// hedges.
+func TestAdaptiveHedgeDelay(t *testing.T) {
+	_, primAddr, replAddr := hedgeWorld(t, 32, 50*time.Millisecond)
+	c := dialT(t, ClientConfig{
+		Primary:  primAddr,
+		Replicas: []string{replAddr},
+	})
+	if d := c.hedgeDelay(); d != 0 {
+		t.Errorf("hedge delay before warm-up = %v, want 0", d)
+	}
+	buf := make([]byte, c.PageSize())
+	for i := 0; i < hedgeWarmup; i++ {
+		// Page 0..15; some may stall — that is fine, they feed the
+		// distribution exactly like production stragglers.
+		if err := c.ReadPage(disk.PageID(i%16), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := c.hedgeDelay()
+	if d <= 0 {
+		t.Fatalf("hedge delay after warm-up = %v, want > 0", d)
+	}
+	// The delay tracks the observed quantile: it must be at least the
+	// floor and far below the client timeout.
+	if d < 100*time.Microsecond || d > time.Second {
+		t.Errorf("adaptive hedge delay = %v, outside sane range", d)
+	}
+}

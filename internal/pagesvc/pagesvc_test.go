@@ -1,0 +1,227 @@
+package pagesvc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"revelation/internal/disk"
+	"revelation/internal/leakcheck"
+	"revelation/internal/metrics"
+)
+
+// startServer serves devs on a loopback port and tears everything down
+// with the test.
+func startServer(t *testing.T, devs []disk.Device, cfg ServerConfig) (*Server, string) {
+	t.Helper()
+	s := NewServer(devs, cfg)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr
+}
+
+func dialT(t *testing.T, cfg ClientConfig) *Client {
+	t.Helper()
+	c, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientRoundtrip(t *testing.T) {
+	before := leakcheck.Snapshot()
+	sim := disk.New(8)
+	ps := sim.PageSize()
+	for i := 0; i < 8; i++ {
+		img := make([]byte, ps)
+		for j := range img {
+			img[j] = byte(i)
+		}
+		if err := sim.WritePage(disk.PageID(i), img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, addr := startServer(t, []disk.Device{sim}, ServerConfig{})
+	c := dialT(t, ClientConfig{Primary: addr})
+
+	if c.NumPages() != 8 || c.PageSize() != ps {
+		t.Fatalf("geometry = %d pages x %d bytes, want 8 x %d", c.NumPages(), c.PageSize(), ps)
+	}
+	buf := make([]byte, ps)
+	for i := 7; i >= 0; i-- {
+		if err := c.ReadPage(disk.PageID(i), buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if buf[0] != byte(i) || buf[ps-1] != byte(i) {
+			t.Fatalf("page %d content = %d", i, buf[0])
+		}
+	}
+	// Seek accounting is local: the head jumped to 7 (distance 7) then
+	// walked down one page at a time (7 more).
+	st := c.Stats()
+	if st.Reads != 8 || st.SeekReads != 14 {
+		t.Errorf("stats = %+v, want 8 reads / 14 seek", st)
+	}
+	if c.Head() != 0 {
+		t.Errorf("head = %d, want 0", c.Head())
+	}
+
+	// Write through and read back via the server's device directly.
+	for j := range buf {
+		buf[j] = 0xCC
+	}
+	if err := c.WritePage(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	direct := make([]byte, ps)
+	if err := sim.ReadPage(3, direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct, buf) {
+		t.Error("write did not reach the server device")
+	}
+
+	// Allocate grows both sides.
+	first, err := c.Allocate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 8 || c.NumPages() != 11 || sim.NumPages() != 11 {
+		t.Errorf("alloc: first=%d client=%d server=%d", first, c.NumPages(), sim.NumPages())
+	}
+
+	// Out-of-range and bad-length refused locally.
+	if err := c.ReadPage(99, buf); !errors.Is(err, disk.ErrOutOfRange) {
+		t.Errorf("read 99 = %v", err)
+	}
+	if err := c.ReadPage(0, buf[:10]); !errors.Is(err, disk.ErrBadLength) {
+		t.Errorf("short read = %v", err)
+	}
+	c.Close()
+	srv.Close()
+	leakcheck.CheckWithin(t, before, 2*time.Second)
+}
+
+// TestPipelining issues many concurrent reads over the one shared
+// connection; response demultiplexing must route every reply to its
+// caller.
+func TestPipelining(t *testing.T) {
+	sim := disk.New(64)
+	ps := sim.PageSize()
+	for i := 0; i < 64; i++ {
+		img := make([]byte, ps)
+		img[0], img[1] = byte(i), byte(i^0x55)
+		if err := sim.WritePage(disk.PageID(i), img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, addr := startServer(t, []disk.Device{sim}, ServerConfig{})
+	c := dialT(t, ClientConfig{Primary: addr})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, ps)
+			for i := 0; i < 16; i++ {
+				p := disk.PageID((g*16 + i) % 64)
+				if err := c.ReadPage(p, buf); err != nil {
+					errs <- fmt.Errorf("read %d: %v", p, err)
+					return
+				}
+				if buf[0] != byte(p) || buf[1] != byte(p^0x55) {
+					errs <- fmt.Errorf("page %d returned page %d's image", p, buf[0])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := c.Stats().Reads; got != 256 {
+		t.Errorf("reads = %d, want 256", got)
+	}
+}
+
+// TestErrorClassSurvivesWire: remote transient and permanent faults
+// arrive as the matching disk sentinel, so retry decisions are the
+// same as against a local device.
+func TestErrorClassSurvivesWire(t *testing.T) {
+	sim := disk.New(8)
+	fd := disk.NewFaulty(sim, disk.FaultConfig{})
+	_, addr := startServer(t, []disk.Device{fd}, ServerConfig{})
+	c := dialT(t, ClientConfig{Primary: addr})
+	buf := make([]byte, sim.PageSize())
+
+	fd.SetConfig(disk.FaultConfig{Seed: 3, TransientRate: 1, TransientFailures: 1 << 30})
+	err := c.ReadPage(0, buf)
+	if !errors.Is(err, disk.ErrTransient) || !disk.Retryable(err) {
+		t.Errorf("transient fault over the wire = %v", err)
+	}
+
+	fd.SetConfig(disk.FaultConfig{Seed: 3, PermanentRate: 1})
+	err = c.ReadPage(0, buf)
+	if !errors.Is(err, disk.ErrPermanent) || disk.Retryable(err) {
+		t.Errorf("permanent fault over the wire = %v", err)
+	}
+
+	// With a retry budget, a fault that clears is absorbed below the
+	// caller: two failures then success.
+	fd.SetConfig(disk.FaultConfig{Seed: 3, TransientRate: 1, TransientFailures: 2})
+	c2 := dialT(t, ClientConfig{Primary: addr, Retry: disk.RetryPolicy{MaxAttempts: 4}})
+	if err := c2.ReadPage(0, buf); err != nil {
+		t.Errorf("retryable fault not absorbed: %v", err)
+	}
+}
+
+// TestReconnectAfterServerRestart: a client survives its server going
+// away and coming back on the same address, counting the reconnect.
+func TestReconnectAfterServerRestart(t *testing.T) {
+	sim := disk.New(4)
+	buf := make([]byte, sim.PageSize())
+	reg := metrics.NewRegistry()
+	s1 := NewServer([]disk.Device{sim}, ServerConfig{})
+	addr, err := s1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialT(t, ClientConfig{
+		Primary:  addr,
+		Retry:    disk.RetryPolicy{MaxAttempts: 20, BaseBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond},
+		Registry: reg,
+		Timeout:  time.Second,
+	})
+	if err := c.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	// Restart on the same address while the client retries.
+	done := make(chan error, 1)
+	go func() { done <- c.ReadPage(1, buf) }()
+	time.Sleep(10 * time.Millisecond)
+	s2 := NewServer([]disk.Device{sim}, ServerConfig{})
+	if _, err := s2.Listen(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer s2.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("read across restart: %v", err)
+	}
+	if got := c.reconnects.Value(); got < 1 {
+		t.Errorf("reconnects = %d, want >= 1", got)
+	}
+}

@@ -1,0 +1,221 @@
+// Package pagesvc puts a network between the buffer pool and its
+// pages: a TCP page service speaking a small length-prefixed binary
+// protocol (read, write, allocate, info, ping, and a streaming WAL
+// follow), a server fronting any set of disk.Devices, and a client
+// that itself implements disk.Device — so the buffer pool, WAL, and
+// assembly operator run unchanged whether their pages are a method
+// call or a round trip away.
+//
+// The client is where the distributed-systems behavior lives: requests
+// are pipelined over one connection per endpoint, reads are hedged to
+// a replica when the primary straggles past a latency quantile,
+// transient network errors are retried with the same exponential
+// backoff policy the rest of the system uses (disk.RetryPolicy), and
+// when the primary stops answering, reads fail over to the freshest
+// replica whose applied LSN clears the caller's durability floor.
+//
+// Replication is WAL shipping: a replica seeds itself from a base
+// backup of the primary's pages, then follows the primary's log via
+// the Follow stream, applying each record with the same redo-if-newer
+// rule crash recovery uses (wal.ApplyRecord) — so replica catch-up,
+// reconnection, and crash recovery are one code path.
+package pagesvc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"revelation/internal/disk"
+)
+
+// Operation codes (request frames).
+const (
+	opRead   = byte(1) // body: [4B page]            -> OK body: page image
+	opWrite  = byte(2) // body: [4B page][image]     -> OK body: empty
+	opAlloc  = byte(3) // body: [4B n]               -> OK body: [4B first]
+	opInfo   = byte(4) // body: empty                -> OK body: [8B pages][4B pageSize][8B appliedLSN]
+	opPing   = byte(5) // body: empty                -> OK body: empty
+	opFollow = byte(6) // body: [8B fromLSN]         -> stream of stream frames
+)
+
+// Response status codes.
+const (
+	stOK     = byte(0) // request succeeded; body is op-specific
+	stErr    = byte(1) // request failed; body: [1B class][message]
+	stStream = byte(2) // one Follow record: [8B lsn][4B page][4B len][img]
+)
+
+// Error classes carried in stErr bodies, mapping the server-side error
+// back onto the client-side disk error taxonomy so retry decisions
+// survive the network.
+const (
+	classTransient = byte(0) // wraps disk.ErrTransient on arrival
+	classPermanent = byte(1) // wraps disk.ErrPermanent
+	classOther     = byte(2) // wrapped verbatim, not retryable
+)
+
+// reqHdrSize is the fixed request header: [1B op][1B dev][8B reqID].
+const reqHdrSize = 10
+
+// respHdrSize is the fixed response header: [1B status][8B reqID].
+const respHdrSize = 9
+
+// maxFrame bounds a frame payload; large enough for a page image plus
+// headers on any sane page size, small enough to refuse garbage.
+const maxFrame = 1 << 22
+
+// ErrBadFrame reports a malformed frame on the wire.
+var ErrBadFrame = errors.New("pagesvc: malformed frame")
+
+// request is a decoded request frame.
+type request struct {
+	op    byte
+	dev   byte
+	reqID uint64
+	body  []byte
+}
+
+// response is a decoded response frame.
+type response struct {
+	status byte
+	reqID  uint64
+	body   []byte
+}
+
+// writeFrame sends one length-prefixed payload. Callers serialize.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: %d-byte frame", ErrBadFrame, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// encodeRequest frames a request for the wire.
+func encodeRequest(req request) []byte {
+	p := make([]byte, reqHdrSize+len(req.body))
+	p[0] = req.op
+	p[1] = req.dev
+	binary.LittleEndian.PutUint64(p[2:], req.reqID)
+	copy(p[reqHdrSize:], req.body)
+	return p
+}
+
+// decodeRequest parses a request frame payload.
+func decodeRequest(p []byte) (request, error) {
+	if len(p) < reqHdrSize {
+		return request{}, fmt.Errorf("%w: %d-byte request", ErrBadFrame, len(p))
+	}
+	return request{
+		op:    p[0],
+		dev:   p[1],
+		reqID: binary.LittleEndian.Uint64(p[2:]),
+		body:  p[reqHdrSize:],
+	}, nil
+}
+
+// encodeResponse frames a response for the wire.
+func encodeResponse(resp response) []byte {
+	p := make([]byte, respHdrSize+len(resp.body))
+	p[0] = resp.status
+	binary.LittleEndian.PutUint64(p[1:], resp.reqID)
+	copy(p[respHdrSize:], resp.body)
+	return p
+}
+
+// decodeResponse parses a response frame payload.
+func decodeResponse(p []byte) (response, error) {
+	if len(p) < respHdrSize {
+		return response{}, fmt.Errorf("%w: %d-byte response", ErrBadFrame, len(p))
+	}
+	return response{
+		status: p[0],
+		reqID:  binary.LittleEndian.Uint64(p[1:]),
+		body:   p[respHdrSize:],
+	}, nil
+}
+
+// encodeErr builds an stErr body from a server-side error, classifying
+// it so the client can rebuild a retry-equivalent error.
+func encodeErr(err error) []byte {
+	class := classOther
+	switch {
+	case errors.Is(err, disk.ErrTransient):
+		class = classTransient
+	case errors.Is(err, disk.ErrPermanent):
+		class = classPermanent
+	}
+	msg := err.Error()
+	body := make([]byte, 1+len(msg))
+	body[0] = class
+	copy(body[1:], msg)
+	return body
+}
+
+// decodeErr rebuilds a classified error from an stErr body.
+func decodeErr(body []byte) error {
+	if len(body) < 1 {
+		return fmt.Errorf("%w: empty error body", ErrBadFrame)
+	}
+	msg := string(body[1:])
+	switch body[0] {
+	case classTransient:
+		return fmt.Errorf("pagesvc: %s: %w", msg, disk.ErrTransient)
+	case classPermanent:
+		return fmt.Errorf("pagesvc: %s: %w", msg, disk.ErrPermanent)
+	default:
+		return fmt.Errorf("pagesvc: remote error: %s", msg)
+	}
+}
+
+// netErr wraps a connection-level failure (dial, write, read, timeout)
+// as transient: the page is fine, the path to it is not, so the access
+// is worth retrying — possibly against a different endpoint.
+func netErr(op string, err error) error {
+	return fmt.Errorf("pagesvc: %s: %v: %w", op, err, disk.ErrTransient)
+}
+
+// encodeStreamRecord frames one Follow record.
+func encodeStreamRecord(reqID, lsn uint64, page disk.PageID, img []byte) []byte {
+	body := make([]byte, 16+len(img))
+	binary.LittleEndian.PutUint64(body[0:], lsn)
+	binary.LittleEndian.PutUint32(body[8:], uint32(page))
+	binary.LittleEndian.PutUint32(body[12:], uint32(len(img)))
+	copy(body[16:], img)
+	return encodeResponse(response{status: stStream, reqID: reqID, body: body})
+}
+
+// decodeStreamRecord parses one Follow record body.
+func decodeStreamRecord(body []byte) (lsn uint64, page disk.PageID, img []byte, err error) {
+	if len(body) < 16 {
+		return 0, 0, nil, fmt.Errorf("%w: %d-byte stream record", ErrBadFrame, len(body))
+	}
+	lsn = binary.LittleEndian.Uint64(body[0:])
+	page = disk.PageID(binary.LittleEndian.Uint32(body[8:]))
+	n := binary.LittleEndian.Uint32(body[12:])
+	if int(n) != len(body)-16 {
+		return 0, 0, nil, fmt.Errorf("%w: stream record length %d != %d", ErrBadFrame, n, len(body)-16)
+	}
+	return lsn, page, body[16:], nil
+}

@@ -1,0 +1,320 @@
+package pagesvc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"revelation/internal/disk"
+	"revelation/internal/metrics"
+	"revelation/internal/wal"
+)
+
+// DataDev and WALDev are the conventional device indices a primary
+// serves: clients read and write pages on DataDev, and the WAL writer
+// appends to WALDev; Follow streams WALDev's records.
+const (
+	DataDev = byte(0)
+	WALDev  = byte(1)
+)
+
+// ServerConfig tunes a Server beyond its device list.
+type ServerConfig struct {
+	// AppliedLSN, when set, is reported in Info responses — a replica
+	// publishes its replication progress through it so clients can
+	// judge staleness before failing over. Nil reports zero on a
+	// replica and is meaningless on a primary (clients track their own
+	// durable LSN).
+	AppliedLSN func() uint64
+	// FollowPoll is how long Follow waits at the end of the log before
+	// re-reading the tail; zero means 2ms.
+	FollowPoll time.Duration
+	// Registry, when set, receives the server's connection and request
+	// counters under asm_pagesvc_*.
+	Registry *metrics.Registry
+}
+
+// Server owns a listener and serves page requests for a fixed set of
+// devices. Requests on one connection are pipelined: each is handled
+// in its own goroutine and responses are interleaved in completion
+// order, matched by request id.
+type Server struct {
+	devs []disk.Device
+	cfg  ServerConfig
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+
+	accepted  metrics.Counter // connections accepted
+	requests  metrics.Counter
+	errs      metrics.Counter
+	followers metrics.Gauge // Follow streams currently live
+}
+
+// NewServer builds a server for devs (addressed by index on the wire).
+// A primary passes [data, wal]; a replica passes just [data].
+func NewServer(devs []disk.Device, cfg ServerConfig) *Server {
+	if cfg.FollowPoll <= 0 {
+		cfg.FollowPoll = 2 * time.Millisecond
+	}
+	s := &Server{devs: devs, cfg: cfg, conns: map[net.Conn]bool{}}
+	if r := cfg.Registry; r != nil {
+		r.Attach("asm_pagesvc_conns_total", "Page-service connections accepted.", &s.accepted)
+		r.Attach("asm_pagesvc_requests_total", "Page-service requests handled.", &s.requests)
+		r.Attach("asm_pagesvc_request_errors_total", "Page-service requests that failed.", &s.errs)
+		r.Attach("asm_pagesvc_followers", "Live WAL follow streams.", &s.followers)
+	}
+	return s
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in the
+// background. It returns the bound address, so port 0 works in tests.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("pagesvc: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Listen.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener, severs every live connection, and waits
+// for all handler goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = true
+		s.mu.Unlock()
+		s.accepted.Inc()
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// connWriter serializes frame writes from concurrent request handlers.
+type connWriter struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (w *connWriter) send(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return writeFrame(w.c, payload)
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	w := &connWriter{c: c}
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		payload, err := readFrame(c)
+		if err != nil {
+			return // EOF, reset, or garbage: the connection is done.
+		}
+		req, err := decodeRequest(payload)
+		if err != nil {
+			return
+		}
+		if req.op == opFollow {
+			// Follow takes over the connection: the stream shares the
+			// writer with any in-flight request handlers, but no new
+			// requests are read until it ends (it ends only when the
+			// connection or server dies).
+			s.requests.Inc()
+			s.serveFollow(w, req)
+			return
+		}
+		s.requests.Inc()
+		handlers.Add(1)
+		go func(req request) {
+			defer handlers.Done()
+			resp := s.handle(req)
+			if resp.status == stErr {
+				s.errs.Inc()
+			}
+			w.send(encodeResponse(resp)) // a dead conn ends the read loop too
+		}(req)
+	}
+}
+
+// handle executes one non-streaming request against its device.
+func (s *Server) handle(req request) response {
+	fail := func(err error) response {
+		return response{status: stErr, reqID: req.reqID, body: encodeErr(err)}
+	}
+	if int(req.dev) >= len(s.devs) {
+		return fail(fmt.Errorf("pagesvc: no device %d", req.dev))
+	}
+	dev := s.devs[req.dev]
+	switch req.op {
+	case opRead:
+		if len(req.body) != 4 {
+			return fail(ErrBadFrame)
+		}
+		p := disk.PageID(binary.LittleEndian.Uint32(req.body))
+		buf := make([]byte, dev.PageSize())
+		if err := dev.ReadPage(p, buf); err != nil {
+			return fail(err)
+		}
+		return response{status: stOK, reqID: req.reqID, body: buf}
+	case opWrite:
+		if len(req.body) != 4+dev.PageSize() {
+			return fail(ErrBadFrame)
+		}
+		p := disk.PageID(binary.LittleEndian.Uint32(req.body))
+		if err := dev.WritePage(p, req.body[4:]); err != nil {
+			return fail(err)
+		}
+		return response{status: stOK, reqID: req.reqID}
+	case opAlloc:
+		if len(req.body) != 4 {
+			return fail(ErrBadFrame)
+		}
+		n := int(binary.LittleEndian.Uint32(req.body))
+		first, err := dev.Allocate(n)
+		if err != nil {
+			return fail(err)
+		}
+		var body [4]byte
+		binary.LittleEndian.PutUint32(body[:], uint32(first))
+		return response{status: stOK, reqID: req.reqID, body: body[:]}
+	case opInfo:
+		var applied uint64
+		if s.cfg.AppliedLSN != nil {
+			applied = s.cfg.AppliedLSN()
+		}
+		body := make([]byte, 20)
+		binary.LittleEndian.PutUint64(body[0:], uint64(dev.NumPages()))
+		binary.LittleEndian.PutUint32(body[8:], uint32(dev.PageSize()))
+		binary.LittleEndian.PutUint64(body[12:], applied)
+		return response{status: stOK, reqID: req.reqID, body: body}
+	case opPing:
+		return response{status: stOK, reqID: req.reqID}
+	default:
+		return fail(fmt.Errorf("pagesvc: unknown op %d", req.op))
+	}
+}
+
+// serveFollow streams WAL records from the requested device, starting
+// after fromLSN, polling the tail as the log grows. It returns when
+// the connection breaks or the server closes. Both a clean end and a
+// torn tail mean "nothing more yet" to a live follower — a torn tail
+// on a growing log is usually an append caught mid-flight, and if it
+// is real damage, recovery on the primary will repair it before the
+// log grows past it.
+func (s *Server) serveFollow(w *connWriter, req request) {
+	fail := func(err error) {
+		w.send(encodeResponse(response{status: stErr, reqID: req.reqID, body: encodeErr(err)}))
+	}
+	if int(req.dev) >= len(s.devs) {
+		fail(fmt.Errorf("pagesvc: no device %d", req.dev))
+		return
+	}
+	if len(req.body) != 8 {
+		fail(ErrBadFrame)
+		return
+	}
+	fromLSN := binary.LittleEndian.Uint64(req.body)
+	s.followers.Add(1)
+	defer s.followers.Add(-1)
+	r := wal.NewReader(s.devs[req.dev])
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			if !errors.Is(err, wal.ErrEndOfLog) && !errors.Is(err, wal.ErrTornTail) {
+				fail(err)
+				return
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			time.Sleep(s.cfg.FollowPoll)
+			continue
+		}
+		if rec.LSN <= fromLSN {
+			continue
+		}
+		if err := w.send(encodeStreamRecord(req.reqID, rec.LSN, rec.Page, rec.Img)); err != nil {
+			return
+		}
+	}
+}
+
+// Serve is a convenience: listen on addr and block until Close. Used
+// by the asmpaged daemon; tests drive Listen/Close directly.
+func (s *Server) Serve(addr string) error {
+	if _, err := s.Listen(addr); err != nil {
+		return err
+	}
+	// Block until Close wakes the accept loop and it exits.
+	s.wg.Wait()
+	return nil
+}
+
+var _ io.Closer = (*Server)(nil)

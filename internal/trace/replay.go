@@ -36,6 +36,10 @@ type Replay struct {
 	// Durability reconstruction.
 	WALAppends, WALFsyncs, Redone int64
 
+	// Network reconstruction (page-service client events).
+	NetSends, NetRecvs, NetErrors int64
+	Hedges, Failovers, Reconnects int64
+
 	// Assembly reconstruction.
 	Admitted, Assembled, Aborted, Quarantined int
 	Retries, Stalls, Fetched, Links, Chosen   int
@@ -150,6 +154,22 @@ func ReplayEvents(events []Event) *Replay {
 		case LayerRecover:
 			if e.Kind == KindRedo {
 				r.Redone++
+			}
+		case LayerNet:
+			switch e.Kind {
+			case KindSend:
+				r.NetSends++
+			case KindRecv:
+				r.NetRecvs++
+				if e.N != 0 {
+					r.NetErrors++
+				}
+			case KindHedge:
+				r.Hedges++
+			case KindFailover:
+				r.Failovers++
+			case KindReconnect:
+				r.Reconnects++
 			}
 		case LayerAssembly:
 			switch e.Kind {

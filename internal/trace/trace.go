@@ -38,6 +38,7 @@ const (
 	LayerBench    = "bench"
 	LayerWAL      = "wal"
 	LayerRecover  = "recover"
+	LayerNet      = "net"
 )
 
 // Disk event kinds.
@@ -62,6 +63,16 @@ const (
 	KindAppend = "append" // page image appended to the log: Page, OID (LSN), N (bytes)
 	KindFsync  = "fsync"  // log made durable: OID (durable LSN), N (bytes synced)
 	KindRedo   = "redo"   // page image reinstalled during recovery: Page, OID (LSN)
+)
+
+// Net event kinds (see internal/pagesvc). Net events carry the remote
+// endpoint in the Note field.
+const (
+	KindSend      = "send"      // request sent to a page server: Page, Note (endpoint)
+	KindRecv      = "recv"      // response received: Page, N (0 ok, 1 error), Note (endpoint)
+	KindHedge     = "hedge"     // straggler read hedged to a replica: Page, Note (endpoint)
+	KindFailover  = "failover"  // read routing switched off the primary: Note (new endpoint)
+	KindReconnect = "reconnect" // endpoint connection re-established: Note (endpoint)
 )
 
 // Assembly event kinds.
@@ -250,6 +261,16 @@ func (t *Tracer) Redo(page int64, lsn uint64) {
 		return
 	}
 	t.emit(Event{Layer: LayerRecover, Kind: KindRedo, Page: page, Head: NoPage, Dist: NoPage, OID: lsn})
+}
+
+// Net records a page-service client event: a request sent, a response
+// received (n carries 0 for success, 1 for error), a hedged read, a
+// failover, or a reconnect. The endpoint travels in the note.
+func (t *Tracer) Net(kind string, page int64, n int64, endpoint string) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{Layer: LayerNet, Kind: kind, Page: page, Head: NoPage, Dist: NoPage, N: n, Note: endpoint})
 }
 
 // Assembly records an operator event. page and head are NoPage when the

@@ -1,98 +1,32 @@
 package wal
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
-	"hash/crc32"
 
 	"revelation/internal/disk"
 	"revelation/internal/metrics"
-	"revelation/internal/page"
 	"revelation/internal/trace"
 )
 
-// scanner reads the log byte stream across page boundaries with a
-// one-page cache.
-type scanner struct {
-	dev    disk.Device
-	buf    []byte
-	loaded int // page index resident in buf; -1 none
-}
-
-// readAt fills dst from the stream at offset off. It fails once the
-// stream runs past the device's allocated pages.
-func (s *scanner) readAt(off int64, dst []byte) error {
-	ps := int64(s.dev.PageSize())
-	for len(dst) > 0 {
-		pi := int(off / ps)
-		if pi >= s.dev.NumPages() {
-			return fmt.Errorf("wal: log ends inside a record at offset %d", off)
-		}
-		if pi != s.loaded {
-			if err := s.dev.ReadPage(disk.PageID(pi), s.buf); err != nil {
-				return err
-			}
-			s.loaded = pi
-		}
-		o := int(off % ps)
-		n := copy(dst, s.buf[o:])
-		dst = dst[n:]
-		off += int64(n)
-	}
-	return nil
-}
-
-// scan walks the log from the front, invoking fn for every valid record
-// in order, and stops at the log's end. It returns the byte offset of
-// the valid prefix's end, the next LSN after the last valid record, and
-// whether the stop was a torn tail (an interrupted append: bad magic,
-// broken LSN sequence, truncated record, or checksum mismatch) rather
-// than a clean zero-magic end. fn may be nil. An error from fn aborts
-// the scan; device read errors on the first header of a record are
-// treated as end-of-log (the stream simply has no more pages).
+// scan walks the log from the front using a Reader, invoking fn for
+// every valid record in order, and stops at the log's end. It returns
+// the byte offset of the valid prefix's end, the next LSN after the
+// last valid record, and whether the stop was a torn tail (an
+// interrupted append) rather than a clean zero-magic end. fn may be
+// nil. An error from fn aborts the scan.
 func scan(dev disk.Device, fn func(lsn uint64, id disk.PageID, img []byte) error) (end int64, nextLSN uint64, torn bool, err error) {
-	s := &scanner{dev: dev, buf: make([]byte, dev.PageSize()), loaded: -1}
-	var pos int64
-	var lsn uint64
-	hdr := make([]byte, recHdrSize)
+	r := NewReader(dev)
 	for {
-		if int(pos/int64(dev.PageSize())) >= dev.NumPages() {
-			return pos, lsn + 1, false, nil // clean end at the last page
-		}
-		if err := s.readAt(pos, hdr); err != nil {
-			// The header itself runs off the device: the last append
-			// never finished allocating its pages.
-			return pos, lsn + 1, true, nil
-		}
-		magic := binary.LittleEndian.Uint32(hdr[0:])
-		if magic == 0 {
-			return pos, lsn + 1, false, nil // zero-filled tail: clean end
-		}
-		if magic != recMagic {
-			return pos, lsn + 1, true, nil
-		}
-		recLSN := binary.LittleEndian.Uint64(hdr[4:])
-		id := disk.PageID(binary.LittleEndian.Uint32(hdr[12:]))
-		n := int(binary.LittleEndian.Uint32(hdr[16:]))
-		want := binary.LittleEndian.Uint32(hdr[20:])
-		if recLSN != lsn+1 || n == 0 || n > maxImage {
-			return pos, lsn + 1, true, nil
-		}
-		img := make([]byte, n)
-		if err := s.readAt(pos+recHdrSize, img); err != nil {
-			return pos, lsn + 1, true, nil
-		}
-		crc := crc32.Update(crc32.Update(0, castagnoli, hdr[:20]), castagnoli, img)
-		if crc != want {
-			return pos, lsn + 1, true, nil
+		rec, rerr := r.Next()
+		if rerr != nil {
+			return r.Offset(), r.LastLSN() + 1, errors.Is(rerr, ErrTornTail), nil
 		}
 		if fn != nil {
-			if err := fn(recLSN, id, img); err != nil {
-				return pos, lsn + 1, false, err
+			if err := fn(rec.LSN, rec.Page, rec.Img); err != nil {
+				return r.Offset(), r.LastLSN() + 1, false, err
 			}
 		}
-		lsn = recLSN
-		pos += int64(recHdrSize + n)
 	}
 }
 
@@ -149,30 +83,16 @@ func Recover(walDev, dataDev disk.Device, opts Options) (*Result, error) {
 		redoneCell = opts.Registry.Counter("asm_recovery_pages_redone_total",
 			"Page images reinstalled from the WAL during recovery.")
 	}
-	ps := dataDev.PageSize()
-	buf := make([]byte, ps)
+	buf := make([]byte, dataDev.PageSize())
 	end, next, torn, err := scan(walDev, func(lsn uint64, id disk.PageID, img []byte) error {
 		res.Records++
-		if len(img) != ps {
-			return fmt.Errorf("wal: record %d holds a %d-byte image for a %d-byte-page device", lsn, len(img), ps)
+		applied, aerr := ApplyRecord(dataDev, Record{LSN: lsn, Page: id, Img: img}, buf)
+		if aerr != nil {
+			return fmt.Errorf("wal: recover: %w", aerr)
 		}
-		for int(id) >= dataDev.NumPages() {
-			if _, err := dataDev.Allocate(1); err != nil {
-				return fmt.Errorf("wal: recover: grow data device: %w", err)
-			}
-		}
-		current := false
-		if err := dataDev.ReadPage(id, buf); err == nil {
-			current = page.Verify(buf) == nil && page.Wrap(buf).LSN() >= lsn
-		}
-		if current {
+		if !applied {
 			res.SkippedOlder++
 			return nil
-		}
-		// The logged image already carries its LSN and checksum
-		// (stamped at append time), so it is reinstalled verbatim.
-		if err := dataDev.WritePage(id, img); err != nil {
-			return fmt.Errorf("wal: recover: redo page %d: %w", id, err)
 		}
 		res.Redone++
 		redoneCell.Inc()
