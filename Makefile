@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race race-core chaos-test net-chaos-test crash-test fuzz-smoke bench figures trace-demo serve-demo examples cover clean
+.PHONY: all check build vet test test-race race-core chaos-test net-chaos-test crash-test fuzz-smoke bench figures suite suite-smoke trace-demo serve-demo examples cover clean
 
 all: check
 
@@ -59,6 +59,17 @@ bench:
 # Regenerate every figure of the paper's evaluation at full scale.
 figures:
 	$(GO) run ./cmd/asmbench -figure all
+
+# Regenerate the tracked benchmark trajectory: every core scenario,
+# three-way verified, written to BENCH_core.json at the repo root.
+suite:
+	$(GO) run ./cmd/asmsuite -suite core -v
+
+# The CI gate for the scenario suite: the smoke subset under the race
+# detector, plus the suite package's own tests, inside a time budget.
+suite-smoke:
+	$(GO) test -race -timeout 5m ./internal/suite
+	$(GO) run -race ./cmd/asmsuite -suite smoke -out /dev/null -v
 
 # End-to-end observability demo: record a traced benchmark run, then
 # replay the trace and verify it reconstructs the reported counters.

@@ -141,18 +141,6 @@ func (r *Runner) Run(e Experiment) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	// Cold start: empty pool and head parked at 0 so repeated runs are
-	// bit-for-bit reproducible. Counters are NOT reset — the run is
-	// reported as a delta between snapshots, so a live metrics scraper
-	// sees them stay monotone. The snapshots come after EvictAll, whose
-	// dirty write-backs belong to the previous run's tail.
-	if err := db.Pool.EvictAll(); err != nil {
-		return Result{}, err
-	}
-	dev0 := db.Device.Stats()
-	pool0 := db.Pool.Stats()
-	db.Device.ResetHead()
-
 	tmpl := db.Template
 	if e.Selectivity > 0 {
 		tmpl = tmpl.Clone()
@@ -171,21 +159,17 @@ func (r *Runner) Run(e Experiment) (Result, error) {
 	for i, root := range db.Roots {
 		items[i] = root
 	}
-	// Instrument the stack for the run's duration; detaching afterwards
-	// keeps cached databases trace-free between runs.
+	// Cold-start and instrument the stack for the run's duration via the
+	// shared measurement core; detaching afterwards keeps cached
+	// databases trace-free between runs.
 	sched := e.Scheduler.String()
 	if e.PredicateFirst {
 		sched = "predicate-first/" + sched
 	}
 	runName := fmt.Sprintf("%s/%s/w%d/db%d", e.Name, sched, e.Window, e.DBSize)
-	if r.Tracer != nil {
-		disk.AttachTracer(db.Device, r.Tracer)
-		db.Pool.SetTracer(r.Tracer)
-		r.Tracer.BeginRun(runName, e.Window)
-		defer func() {
-			disk.AttachTracer(db.Device, nil)
-			db.Pool.SetTracer(nil)
-		}()
+	m, err := StartMeasurement(runName, e.Window, db.Device, db.Pool, r.Tracer)
+	if err != nil {
+		return Result{}, err
 	}
 	op := assembly.New(volcano.NewSlice(items), db.Store, tmpl, assembly.Options{
 		Window:          e.Window,
@@ -197,40 +181,26 @@ func (r *Runner) Run(e Experiment) (Result, error) {
 		Tracer:          r.Tracer,
 		Metrics:         r.Metrics,
 	})
-	start := time.Now()
 	n, err := volcano.Count(op)
 	if err != nil {
+		m.Abort()
 		return Result{}, fmt.Errorf("bench %s: %w", e.Name, err)
 	}
-	elapsed := time.Since(start)
 	if st := op.Stats(); n != st.Assembled {
+		m.Abort()
 		return Result{}, fmt.Errorf("bench %s: drained %d but operator assembled %d", e.Name, n, st.Assembled)
 	}
 
-	dev := db.Device.Stats().Sub(dev0)
-	poolStats := db.Pool.Stats().Sub(pool0)
-	if r.Tracer != nil {
-		st := op.Stats()
-		r.Tracer.EndRun(runName, trace.RunStats{
-			Reads:     dev.Reads,
-			SeekReads: dev.SeekReads,
-			SeekTotal: dev.SeekTotal,
-			Assembled: st.Assembled,
-			Aborted:   st.Aborted,
-			Skipped:   st.Skipped,
-			Retries:   st.FaultRetries,
-			Stalls:    st.WindowStalls,
-		})
-	}
+	got := m.End(op.Stats())
 	return Result{
 		Experiment:   e,
-		AvgSeek:      dev.AvgSeekPerRead(),
-		Reads:        dev.Reads,
-		SeekTotal:    dev.SeekReads,
+		AvgSeek:      got.Dev.AvgSeekPerRead(),
+		Reads:        got.Dev.Reads,
+		SeekTotal:    got.Dev.SeekReads,
 		Stats:        op.Stats(),
-		BufferHits:   poolStats.Hits,
-		BufferFaults: poolStats.Faults,
-		Elapsed:      elapsed,
+		BufferHits:   got.Pool.Hits,
+		BufferFaults: got.Pool.Faults,
+		Elapsed:      got.Elapsed,
 	}, nil
 }
 

@@ -8,7 +8,6 @@ import (
 	"revelation/internal/assembly"
 	"revelation/internal/disk"
 	"revelation/internal/gen"
-	"revelation/internal/metrics"
 	"revelation/internal/trace"
 	"revelation/internal/volcano"
 )
@@ -531,15 +530,14 @@ func (r *Runner) FigFaults(scale float64, opts FaultOptions) (Figure, error) {
 	if err != nil {
 		return Figure{}, err
 	}
-	// The sweep's device counters are never reset; each point reports
-	// the delta between registry snapshots, so a concurrent scraper sees
-	// the counters stay monotone across the whole sweep.
-	reg := r.Metrics
-	if reg == nil {
-		reg = metrics.NewRegistry()
+	// The sweep's counters are never reset; each point reports the
+	// delta between snapshots (the shared measurement core), so a
+	// concurrent scraper sees the registered families stay monotone
+	// across the whole sweep.
+	if r.Metrics != nil {
+		fd.RegisterMetrics(r.Metrics, "faults")
+		db.Pool.RegisterMetrics(r.Metrics, "faults")
 	}
-	fd.RegisterMetrics(reg, "faults")
-	db.Pool.RegisterMetrics(reg, "faults")
 	items := make([]volcano.Item, len(db.Roots))
 	for i, root := range db.Roots {
 		items[i] = root
@@ -552,25 +550,21 @@ func (r *Runner) FigFaults(scale float64, opts FaultOptions) (Figure, error) {
 	for _, p := range []policy{{"retry", assembly.RetryFaults}, {"skip-object", assembly.SkipObject}} {
 		s := Series{Label: p.label}
 		for _, f := range fractions {
-			if err := db.Pool.EvictAll(); err != nil {
-				return Figure{}, err
-			}
-			// Per-point cold start: head parked, injector re-armed. The
-			// snapshot comes after EvictAll so the previous point's dirty
-			// write-backs are excluded from this point's delta.
-			fd.ResetHead()
+			// Per-point cold start: injector re-armed, then the shared
+			// measurement bracket (evict, snapshot, park head) so the
+			// previous point's dirty write-backs are excluded from this
+			// point's delta. Re-arming first is safe: write-backs are
+			// never faulted.
 			fd.SetConfig(disk.FaultConfig{
 				Seed:              opts.Seed,
 				TransientRate:     f * opts.Transient,
 				TransientFailures: 2,
 				PermanentRate:     f * opts.Permanent,
 			})
-			before := reg.Snapshot()
 			runName := fmt.Sprintf("faults/%s/t%.3f", p.label, f*opts.Transient)
-			if r.Tracer != nil {
-				disk.AttachTracer(fd, r.Tracer)
-				db.Pool.SetTracer(r.Tracer)
-				r.Tracer.BeginRun(runName, 50)
+			m, err := StartMeasurement(runName, 50, fd, db.Pool, r.Tracer)
+			if err != nil {
+				return Figure{}, err
 			}
 			op := assembly.New(volcano.NewSlice(items), db.Store, db.Template, assembly.Options{
 				Window:      50,
@@ -580,24 +574,11 @@ func (r *Runner) FigFaults(scale float64, opts FaultOptions) (Figure, error) {
 				Metrics:     r.Metrics,
 			})
 			if _, err := volcano.Count(op); err != nil {
+				m.Abort()
 				return Figure{}, err
 			}
 			st := op.Stats()
-			if r.Tracer != nil {
-				d := reg.Snapshot().Delta(before)
-				r.Tracer.EndRun(runName, trace.RunStats{
-					Reads:     d.Value("asm_disk_reads_total", "dev", "faults"),
-					SeekReads: d.Value("asm_disk_read_seek_pages_total", "dev", "faults"),
-					SeekTotal: d.Value("asm_disk_seek_pages_total", "dev", "faults"),
-					Assembled: st.Assembled,
-					Aborted:   st.Aborted,
-					Skipped:   st.Skipped,
-					Retries:   st.FaultRetries,
-					Stalls:    st.WindowStalls,
-				})
-				disk.AttachTracer(fd, nil)
-				db.Pool.SetTracer(nil)
-			}
+			m.End(st)
 			s.X = append(s.X, 100*f*opts.Transient)
 			s.Y = append(s.Y, 100*float64(st.Assembled)/float64(len(db.Roots)))
 			if p.fp == assembly.RetryFaults {

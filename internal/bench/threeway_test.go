@@ -94,10 +94,10 @@ func TestThreeWayAgreement(t *testing.T) {
 }
 
 // TestThreeWayAgreementFaults extends the invariant to the faulty
-// sweep: FigFaults now derives each end-of-run marker from registry
-// snapshot deltas (no counter resets), so verifying every traced run
-// against its replay closes the triangle — replay == reported ==
-// registry delta by construction.
+// sweep: FigFaults brackets each sweep point with the shared
+// measurement core (no counter resets, end markers derived from device
+// deltas), so verifying every traced run against its replay closes the
+// triangle; TestFigureRunScrapeConsistent adds the registry leg.
 func TestThreeWayAgreementFaults(t *testing.T) {
 	col := trace.NewCollector()
 	r := NewRunner()
@@ -126,5 +126,52 @@ func TestThreeWayAgreementFaults(t *testing.T) {
 	}
 	if verified < 8 { // two policies x four sweep points
 		t.Errorf("verified %d runs, want at least 8", verified)
+	}
+}
+
+// TestFigureRunScrapeConsistent pins the scraper-facing contract of a
+// figure run: counters are never reset mid-sweep, so a concurrent
+// scraper sees every registered family stay monotone, and the sweep's
+// total registry delta equals the sum of the per-run reported deltas —
+// no run's activity is double-counted or dropped between brackets.
+func TestFigureRunScrapeConsistent(t *testing.T) {
+	col := trace.NewCollector()
+	reg := metrics.NewRegistry()
+	r := NewRunner()
+	r.Tracer = trace.New(col)
+	r.Metrics = reg
+
+	before := reg.Snapshot()
+	if _, err := r.FigFaults(0.1, DefaultFaultOptions); err != nil {
+		t.Fatal(err)
+	}
+	d := reg.Snapshot().Delta(before)
+
+	// Monotone: every family's delta over the sweep is non-negative.
+	for _, fam := range []struct{ name, k, v string }{
+		{"asm_disk_reads_total", "dev", "faults"},
+		{"asm_disk_read_seek_pages_total", "dev", "faults"},
+		{"asm_disk_seek_pages_total", "dev", "faults"},
+		{"asm_buffer_hits_total", "pool", "faults"},
+		{"asm_buffer_misses_total", "pool", "faults"},
+	} {
+		if got := d.Value(fam.name, fam.k, fam.v); got < 0 {
+			t.Errorf("%s{%s=%q} went backwards over the sweep: delta %d", fam.name, fam.k, fam.v, got)
+		}
+	}
+
+	// Sum of per-run reported reads == the registry's total delta: the
+	// measurement brackets partition the sweep's read activity exactly
+	// (pool evictions between points write back dirty pages but never
+	// read, so no I/O falls outside a bracket).
+	var reported int64
+	for _, run := range trace.SplitRuns(col.Events()) {
+		if run.Reported == nil {
+			t.Fatalf("run %q has no end marker", run.Name)
+		}
+		reported += run.Reported.Reads
+	}
+	if got := d.Value("asm_disk_reads_total", "dev", "faults"); got != reported {
+		t.Errorf("registry reads delta %d != sum of per-run reported reads %d", got, reported)
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"revelation/internal/trace"
 )
 
 func TestSimReadWriteRoundTrip(t *testing.T) {
@@ -271,6 +273,49 @@ func TestFileDeviceRoundTrip(t *testing.T) {
 	}
 	if d2.Stats().Reads != 1 {
 		t.Errorf("Reads = %d, want 1", d2.Stats().Reads)
+	}
+}
+
+func TestFileDeviceTracerReplayAgrees(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traced.db")
+	d, err := OpenFile(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Allocate(64); err != nil {
+		t.Fatal(err)
+	}
+	col := trace.NewCollector()
+	if !AttachTracer(d, trace.New(col)) {
+		t.Fatal("FileDevice did not accept a tracer")
+	}
+	buf := make([]byte, 512)
+	for _, p := range []PageID{5, 60, 12, 12, 33} {
+		if err := d.ReadPage(p, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.WritePage(7, buf); err != nil {
+		t.Fatal(err)
+	}
+	AttachTracer(d, nil)
+	if err := d.ReadPage(1, buf); err != nil { // after detach: no event
+		t.Fatal(err)
+	}
+
+	r := trace.ReplayEvents(col.Events())
+	st := d.Stats()
+	if r.Reads != st.Reads-1 || r.Writes != st.Writes {
+		t.Errorf("replay reads/writes %d/%d, want %d/%d", r.Reads, r.Writes, st.Reads-1, st.Writes)
+	}
+	// The detached read moved the head 7→1 (6 pages) without an event,
+	// so the replayed seek totals equal the device's minus that seek.
+	if want := st.SeekTotal - 6; r.SeekTotal != want {
+		t.Errorf("replay SeekTotal = %d, want %d", r.SeekTotal, want)
+	}
+	if want := st.SeekReads - 6; r.SeekReads != want {
+		t.Errorf("replay SeekReads = %d, want %d", r.SeekReads, want)
 	}
 }
 

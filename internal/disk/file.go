@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"revelation/internal/metrics"
+	"revelation/internal/trace"
 )
 
 // FileDevice is a Device persisted in an ordinary file. It applies the
@@ -19,6 +21,7 @@ type FileDevice struct {
 	numPages int
 	head     PageID
 	cells    devCells
+	tr       *trace.Tracer
 	closed   bool
 }
 
@@ -44,7 +47,7 @@ func OpenFile(path string, pageSize int) (*FileDevice, error) {
 	return &FileDevice{f: f, pageSize: pageSize, numPages: int(st.Size() / int64(pageSize))}, nil
 }
 
-func (d *FileDevice) seekTo(p PageID, read bool) {
+func (d *FileDevice) seekTo(p PageID, read bool) int64 {
 	var dist int64
 	if p >= d.head {
 		dist = int64(p - d.head)
@@ -53,6 +56,17 @@ func (d *FileDevice) seekTo(p PageID, read bool) {
 	}
 	d.cells.account(dist, read)
 	d.head = p
+	return dist
+}
+
+// SetTracer implements TracerSetter: every subsequent access emits a
+// disk event with the pre-access head position and seek distance, the
+// same contract Sim honours — so trace replays verify file-backed runs
+// identically to simulated ones. Pass nil to disable.
+func (d *FileDevice) SetTracer(t *trace.Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tr = t
 }
 
 // RegisterMetrics implements MetricsRegistrar.
@@ -78,6 +92,15 @@ func (d *FileDevice) ReadPage(p PageID, buf []byte) error {
 	if _, err := d.f.ReadAt(buf, int64(p)*int64(d.pageSize)); err != nil {
 		return fmt.Errorf("disk: read page %d: %w", p, err)
 	}
+	if d.tr != nil {
+		start := time.Now()
+		prev := d.head
+		dist := d.seekTo(p, true)
+		d.cells.reads.Inc()
+		d.tr.Disk(trace.KindRead, int64(p), int64(prev), dist)
+		d.tr.Observe("disk/read", time.Since(start))
+		return nil
+	}
 	d.seekTo(p, true)
 	d.cells.reads.Inc()
 	return nil
@@ -98,6 +121,15 @@ func (d *FileDevice) WritePage(p PageID, buf []byte) error {
 	}
 	if _, err := d.f.WriteAt(buf, int64(p)*int64(d.pageSize)); err != nil {
 		return fmt.Errorf("disk: write page %d: %w", p, err)
+	}
+	if d.tr != nil {
+		start := time.Now()
+		prev := d.head
+		dist := d.seekTo(p, false)
+		d.cells.writes.Inc()
+		d.tr.Disk(trace.KindWrite, int64(p), int64(prev), dist)
+		d.tr.Observe("disk/write", time.Since(start))
+		return nil
 	}
 	d.seekTo(p, false)
 	d.cells.writes.Inc()

@@ -70,6 +70,13 @@ type Config struct {
 	// Levels and Fanout shape each complex object; the paper uses a
 	// binary tree of 3 levels (7 components). Defaults: 3 and 2.
 	Levels, Fanout int
+	// Fanouts, when non-empty, overrides Levels/Fanout with an explicit
+	// per-level fanout vector: Fanouts[l] is the number of children of
+	// every level-l node, so len(Fanouts)+1 is the tree depth. This is
+	// what OO7-style shapes are built from — deep assembly hierarchies
+	// ([2,2,2,2]), wide composite parts ([8,4]), and anything between.
+	// Every fanout must be 1..8 (components carry 8 reference fields).
+	Fanouts []int
 	// Clustering selects the layout policy.
 	Clustering Clustering
 	// Sharing is the ratio of shared objects to sharing objects at the
@@ -94,6 +101,10 @@ type Config struct {
 	// Device, when set, receives the database (e.g. a file-backed
 	// device from cmd/dbgen); nil builds an in-memory simulated disk.
 	Device disk.Device
+	// ExtraPages adds empty heap pages after the generated data, so
+	// append workloads (e.g. the suite's time-series scenario) have
+	// room to grow without reorganizing the extent.
+	ExtraPages int
 }
 
 // withDefaults fills zero fields.
@@ -106,6 +117,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Fanout <= 0 {
 		c.Fanout = 2
+	}
+	if len(c.Fanouts) == 0 {
+		c.Fanouts = uniformFanouts(c.Levels, c.Fanout)
+	} else {
+		c.Levels = len(c.Fanouts) + 1
 	}
 	if c.PageSize <= 0 {
 		c.PageSize = disk.DefaultPageSize
@@ -138,14 +154,46 @@ type Database struct {
 	NodesPerObject int
 	// Positions maps tree position index to its class.
 	Positions []*object.Class
+	// Children maps tree position index to its children's positions —
+	// the shape consumers need to walk or extend the generated graphs
+	// without re-deriving the numbering.
+	Children [][]int
+	// LeafStart is the first leaf-level position index.
+	LeafStart int
+	// NextOID is the first OID not used by the generated objects;
+	// append workloads allocate from here.
+	NextOID object.OID
+	// DataPages is the number of extent pages holding generated data;
+	// pages [DataPages, DataPages+ExtraPages) are empty headroom.
+	DataPages int
+}
+
+// uniformFanouts expands the classic (levels, fanout) pair into a
+// per-level fanout vector.
+func uniformFanouts(levels, fanout int) []int {
+	f := make([]int, levels-1)
+	for i := range f {
+		f[i] = fanout
+	}
+	return f
+}
+
+// levelWidths returns the node count of each level: 1 at the root,
+// then the running product of the fanouts.
+func levelWidths(fanouts []int) []int {
+	widths := make([]int, len(fanouts)+1)
+	widths[0] = 1
+	for l, f := range fanouts {
+		widths[l+1] = widths[l] * f
+	}
+	return widths
 }
 
 // positionCount returns the number of node positions of a full tree.
-func positionCount(levels, fanout int) int {
-	n, width := 0, 1
-	for l := 0; l < levels; l++ {
-		n += width
-		width *= fanout
+func positionCount(fanouts []int) int {
+	n := 0
+	for _, w := range levelWidths(fanouts) {
+		n += w
 	}
 	return n
 }
@@ -153,9 +201,14 @@ func positionCount(levels, fanout int) int {
 // Build generates a database per the configuration.
 func Build(cfg Config) (*Database, error) {
 	cfg = cfg.withDefaults()
+	for _, f := range cfg.Fanouts {
+		if f < 1 || f > 8 {
+			return nil, fmt.Errorf("gen: fanout %d out of range 1..8 (components have 8 reference fields)", f)
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	positions := positionCount(cfg.Levels, cfg.Fanout)
+	positions := positionCount(cfg.Fanouts)
 	nTrees := cfg.NumComplexObjects
 
 	// --- catalog: one class per tree position ---
@@ -177,7 +230,7 @@ func Build(cfg Config) (*Database, error) {
 	// --- logical structure: per-position OID tables ---
 	// Non-leaf positions get one object per tree. Leaf positions get a
 	// shared pool when Sharing > 0.
-	leafStart := firstLeafPosition(cfg.Levels, cfg.Fanout)
+	leafStart := firstLeafPosition(cfg.Fanouts)
 	perPosCount := make([]int, positions)
 	for p := 0; p < positions; p++ {
 		if p >= leafStart && cfg.Sharing > 0 {
@@ -220,7 +273,7 @@ func Build(cfg Config) (*Database, error) {
 	}
 	var all []placed
 	rootOf := map[object.OID]object.OID{}
-	childrenOf := childPositions(cfg.Levels, cfg.Fanout)
+	childrenOf := childPositions(cfg.Fanouts)
 	seq := int32(0)
 	for p := 0; p < positions; p++ {
 		for i := 0; i < perPosCount[p]; i++ {
@@ -273,7 +326,7 @@ func Build(cfg Config) (*Database, error) {
 		// method-traversal order matches the physical layout and the
 		// level order does not.
 		dfsRank := make([]int, positions)
-		for rank, p := range traversalOrder(cfg.Levels, cfg.Fanout) {
+		for rank, p := range traversalOrder(cfg.Fanouts) {
 			dfsRank[p] = rank
 		}
 		for p := 0; p < positions; p++ {
@@ -300,7 +353,7 @@ func Build(cfg Config) (*Database, error) {
 		// non-trivial curves.
 		innerCount := 0
 		seenOID := map[object.OID]bool{}
-		order := traversalOrder(cfg.Levels, cfg.Fanout)
+		order := traversalOrder(cfg.Fanouts)
 		slot := 0
 		for tr := 0; tr < nTrees; tr++ {
 			for _, p := range order {
@@ -340,6 +393,8 @@ func Build(cfg Config) (*Database, error) {
 	}
 
 	// --- storage ---
+	dataPages := filePages
+	filePages += cfg.ExtraPages
 	dev := cfg.Device
 	if dev == nil {
 		dev = disk.NewSim(cfg.PageSize, 0)
@@ -408,38 +463,49 @@ func Build(cfg Config) (*Database, error) {
 		RootOf:         rootOf,
 		NodesPerObject: positions,
 		Positions:      classes,
+		Children:       childrenOf,
+		LeafStart:      leafStart,
+		NextOID:        next,
+		DataPages:      dataPages,
 	}, nil
 }
 
 // firstLeafPosition returns the index of the first leaf-level position
 // in breadth-first numbering.
-func firstLeafPosition(levels, fanout int) int {
-	n, width := 0, 1
-	for l := 0; l < levels-1; l++ {
-		n += width
-		width *= fanout
+func firstLeafPosition(fanouts []int) int {
+	widths := levelWidths(fanouts)
+	n := 0
+	for _, w := range widths[:len(widths)-1] {
+		n += w
 	}
 	return n
 }
 
 // childPositions maps each position to its children's positions in
-// breadth-first numbering; children occupy reference fields 0..f-1.
-func childPositions(levels, fanout int) [][]int {
-	total := positionCount(levels, fanout)
-	out := make([][]int, total)
-	leafStart := firstLeafPosition(levels, fanout)
-	for p := 0; p < leafStart; p++ {
-		for f := 0; f < fanout; f++ {
-			out[p] = append(out[p], p*fanout+1+f)
+// breadth-first numbering; the f-th child of the i-th level-l node is
+// position start(l+1) + i*fanouts[l] + f and occupies reference field
+// f. For uniform fanouts this reduces to the classic p*fanout+1+f.
+func childPositions(fanouts []int) [][]int {
+	out := make([][]int, positionCount(fanouts))
+	widths := levelWidths(fanouts)
+	start := 0
+	for l, f := range fanouts {
+		childStart := start + widths[l]
+		for i := 0; i < widths[l]; i++ {
+			p := start + i
+			for c := 0; c < f; c++ {
+				out[p] = append(out[p], childStart+i*f+c)
+			}
 		}
+		start = childStart
 	}
 	return out
 }
 
 // traversalOrder returns positions in depth-first (method-traversal)
 // order, the order intra-object clustering lays components out.
-func traversalOrder(levels, fanout int) []int {
-	children := childPositions(levels, fanout)
+func traversalOrder(fanouts []int) []int {
+	children := childPositions(fanouts)
 	var order []int
 	var visit func(p int)
 	visit = func(p int) {
@@ -455,7 +521,7 @@ func traversalOrder(levels, fanout int) []int {
 // buildTemplate mirrors the generated structure as an assembly
 // template, annotating leaf positions with the sharing statistic.
 func buildTemplate(cfg Config, classes []*object.Class, leafStart int) *assembly.Template {
-	children := childPositions(cfg.Levels, cfg.Fanout)
+	children := childPositions(cfg.Fanouts)
 	var build func(p int) *assembly.Template
 	build = func(p int) *assembly.Template {
 		n := &assembly.Template{

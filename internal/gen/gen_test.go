@@ -333,3 +333,165 @@ func TestCustomShape(t *testing.T) {
 		t.Errorf("template nodes = %d, want %d", db.Template.Nodes(), want)
 	}
 }
+
+// TestFanoutsShapes covers the per-level fanout vectors the OO7-style
+// suite scenarios are built from: a deep narrow hierarchy and a wide
+// shallow one, with the reference wiring checked against the declared
+// shape by walking one complex object from its root.
+func TestFanoutsShapes(t *testing.T) {
+	cases := []struct {
+		name    string
+		fanouts []int
+		nodes   int
+	}{
+		{"deep", []int{2, 2, 2, 2}, 1 + 2 + 4 + 8 + 16},
+		{"wide", []int{8, 4}, 1 + 8 + 32},
+		{"uneven", []int{3, 2, 1}, 1 + 3 + 6 + 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db, err := Build(Config{NumComplexObjects: 12, Fanouts: tc.fanouts, Seed: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if db.NodesPerObject != tc.nodes {
+				t.Errorf("positions = %d, want %d", db.NodesPerObject, tc.nodes)
+			}
+			if db.Template.Nodes() != tc.nodes || db.Template.Depth() != len(tc.fanouts)+1 {
+				t.Errorf("template: %d nodes depth %d, want %d nodes depth %d",
+					db.Template.Nodes(), db.Template.Depth(), tc.nodes, len(tc.fanouts)+1)
+			}
+			// Walk one complex object: every node must carry exactly its
+			// level's fanout in non-nil references, and the walk must
+			// visit the declared number of components.
+			visited := 0
+			var walk func(oid object.OID, level int)
+			walk = func(oid object.OID, level int) {
+				visited++
+				o, err := db.Store.Get(oid)
+				if err != nil {
+					t.Fatalf("get %v: %v", oid, err)
+				}
+				want := 0
+				if level < len(tc.fanouts) {
+					want = tc.fanouts[level]
+				}
+				live := 0
+				for _, r := range o.Refs {
+					if !r.IsNil() {
+						live++
+					}
+				}
+				if live != want {
+					t.Fatalf("level-%d node %v has %d children, want %d", level, oid, live, want)
+				}
+				for f := 0; f < want; f++ {
+					walk(o.Refs[f], level+1)
+				}
+			}
+			walk(db.Roots[0], 0)
+			if visited != tc.nodes {
+				t.Errorf("walk visited %d components, want %d", visited, tc.nodes)
+			}
+			// The exported shape metadata matches the walk.
+			if db.LeafStart != tc.nodes-lastWidth(tc.fanouts) {
+				t.Errorf("LeafStart = %d, want %d", db.LeafStart, tc.nodes-lastWidth(tc.fanouts))
+			}
+			if got := len(db.Children); got != tc.nodes {
+				t.Errorf("Children has %d positions, want %d", got, tc.nodes)
+			}
+			if n, _ := db.Store.Locator.Len(); db.NextOID != object.OID(n+1) {
+				t.Errorf("NextOID = %v, want %v (locator holds %d, OIDs from 1)", db.NextOID, n+1, n)
+			}
+		})
+	}
+}
+
+func lastWidth(fanouts []int) int {
+	w := 1
+	for _, f := range fanouts {
+		w *= f
+	}
+	return w
+}
+
+// TestFanoutTooWide rejects shapes that overflow the 8 reference
+// fields of a component.
+func TestFanoutTooWide(t *testing.T) {
+	if _, err := Build(Config{NumComplexObjects: 5, Fanouts: []int{9}, Seed: 1}); err == nil {
+		t.Error("fanout 9 accepted; components only carry 8 reference fields")
+	}
+}
+
+// TestExtraPagesHeadroom verifies append headroom: the extent grows by
+// ExtraPages empty pages after the data, and appended records land in
+// them via explicit tail placement.
+func TestExtraPagesHeadroom(t *testing.T) {
+	db, err := Build(Config{NumComplexObjects: 30, Seed: 3, ExtraPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Store.File.NumPages(); got != db.DataPages+16 {
+		t.Errorf("extent = %d pages, want DataPages %d + 16", got, db.DataPages)
+	}
+	o := &object.Object{
+		OID:   db.NextOID,
+		Class: db.Positions[0].ID,
+		Ints:  []int32{1, 2, 3, 0},
+		Refs:  make([]object.OID, 8),
+	}
+	rid, err := db.Store.PutAt(o, db.DataPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := db.Store.File.PageAt(db.DataPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rid.Page != pid {
+		t.Errorf("append landed on page %v, want first headroom page %v", rid.Page, pid)
+	}
+	got, err := db.Store.Get(o.OID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ints[0] != 1 || got.Ints[1] != 2 {
+		t.Errorf("round-trip mismatch: %+v", got.Ints)
+	}
+}
+
+// TestStoreUpdateInPlace mutates a component through Store.Update and
+// reads the change back, without moving the record.
+func TestStoreUpdateInPlace(t *testing.T) {
+	db, err := Build(Config{NumComplexObjects: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := db.Roots[3]
+	before, _, err := db.Store.WhereIs(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := db.Store.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Ints[1] = 777
+	if err := db.Store.Update(o); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := db.Store.WhereIs(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("update moved the record: %v -> %v", before, after)
+	}
+	got, err := db.Store.Get(oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ints[1] != 777 {
+		t.Errorf("Ints[1] = %d after update, want 777", got.Ints[1])
+	}
+}

@@ -20,6 +20,7 @@ type Manifest struct {
 	// Parameters echoes the generation config (device omitted).
 	NumComplexObjects int
 	Levels, Fanout    int
+	Fanouts           []int
 	Clustering        Clustering
 	Sharing           float64
 	Seed              int64
@@ -52,6 +53,7 @@ func (db *Database) SaveManifest(path string) error {
 		NumComplexObjects: db.Config.NumComplexObjects,
 		Levels:            db.Config.Levels,
 		Fanout:            db.Config.Fanout,
+		Fanouts:           db.Config.Fanouts,
 		Clustering:        db.Config.Clustering,
 		Sharing:           db.Config.Sharing,
 		Seed:              db.Config.Seed,
@@ -139,6 +141,7 @@ func OpenDatabaseOn(dev disk.Device, mp *Manifest, bufferPages int) (*Database, 
 		NumComplexObjects: m.NumComplexObjects,
 		Levels:            m.Levels,
 		Fanout:            m.Fanout,
+		Fanouts:           m.Fanouts,
 		Clustering:        m.Clustering,
 		Sharing:           m.Sharing,
 		Seed:              m.Seed,
@@ -147,7 +150,7 @@ func OpenDatabaseOn(dev disk.Device, mp *Manifest, bufferPages int) (*Database, 
 	}.withDefaults()
 
 	// Rebuild the catalog exactly as Build defines it.
-	positions := positionCount(cfg.Levels, cfg.Fanout)
+	positions := positionCount(cfg.Fanouts)
 	cat := object.NewCatalog()
 	classes := make([]*object.Class, positions)
 	for p := 0; p < positions; p++ {
@@ -167,7 +170,7 @@ func OpenDatabaseOn(dev disk.Device, mp *Manifest, bufferPages int) (*Database, 
 	}
 	store := object.NewStore(file, loc, cat)
 
-	leafStart := firstLeafPosition(cfg.Levels, cfg.Fanout)
+	leafStart := firstLeafPosition(cfg.Fanouts)
 	tmpl := buildTemplate(cfg, classes, leafStart)
 
 	roots := make([]object.OID, len(m.Roots))
@@ -177,6 +180,12 @@ func OpenDatabaseOn(dev disk.Device, mp *Manifest, bufferPages int) (*Database, 
 	rootOf := make(map[object.OID]object.OID, len(m.RootOf))
 	for _, pr := range m.RootOf {
 		rootOf[object.OID(pr.OID)] = object.OID(pr.Root)
+	}
+	var next object.OID
+	for _, e := range m.Entries {
+		if object.OID(e.OID) >= next {
+			next = object.OID(e.OID) + 1
+		}
 	}
 	return &Database{
 		Config:         cfg,
@@ -188,5 +197,9 @@ func OpenDatabaseOn(dev disk.Device, mp *Manifest, bufferPages int) (*Database, 
 		RootOf:         rootOf,
 		NodesPerObject: positions,
 		Positions:      classes,
+		Children:       childPositions(cfg.Fanouts),
+		LeafStart:      leafStart,
+		NextOID:        next,
+		DataPages:      m.FileNPages,
 	}, nil
 }

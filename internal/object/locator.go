@@ -152,6 +152,29 @@ func (s *Store) put(o *Object, pageIdx int) (heap.RID, error) {
 	return rid, nil
 }
 
+// Update re-encodes the object over its existing record in place: the
+// OID must already be registered and the encoded size must still fit
+// the record's slot (it always does for same-class updates, since
+// records are fixed-size per class). The write path incremental
+// workloads mutate through.
+func (s *Store) Update(o *Object) error {
+	if o.OID.IsNil() {
+		return ErrNilOID
+	}
+	rid, ok, err := s.Locator.Lookup(o.OID)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("object: %v not found", o.OID)
+	}
+	rec, err := Encode(o)
+	if err != nil {
+		return err
+	}
+	return s.File.Update(rid, rec)
+}
+
 // Get loads the object with the given OID.
 func (s *Store) Get(oid OID) (*Object, error) {
 	rid, ok, err := s.Locator.Lookup(oid)

@@ -91,6 +91,7 @@ type Client struct {
 	pageSize  int
 	head      disk.PageID
 	stats     disk.Stats
+	diskTr    *trace.Tracer // disk-layer events from the local head accounting
 	latencies []time.Duration // ring of recent read RTTs
 	latNext   int
 	closed    bool
@@ -664,11 +665,25 @@ func (c *Client) checkAccess(p disk.PageID, buf []byte) error {
 	return nil
 }
 
+// SetTracer implements disk.TracerSetter: each page access emits a
+// disk-layer event from the client-side head accounting, mirroring the
+// contract of the local devices — the event carries the head position
+// before the access and the (local) seek distance, and is emitted once
+// per logical access regardless of retries or hedges. This is distinct
+// from ClientConfig.Tracer, which receives the net-layer events (every
+// send/recv, including retries). Pass nil to disable.
+func (c *Client) SetTracer(t *trace.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.diskTr = t
+}
+
 // account moves the local head to p and books the seek.
 func (c *Client) account(p disk.PageID, read bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	dist := int64(p) - int64(c.head)
+	prev := c.head
+	dist := int64(p) - int64(prev)
 	if dist < 0 {
 		dist = -dist
 	}
@@ -682,6 +697,13 @@ func (c *Client) account(p disk.PageID, read bool) {
 	c.stats.SeekTotal += dist
 	if dist > c.stats.MaxSeek {
 		c.stats.MaxSeek = dist
+	}
+	if c.diskTr != nil {
+		kind := trace.KindWrite
+		if read {
+			kind = trace.KindRead
+		}
+		c.diskTr.Disk(kind, int64(p), int64(prev), dist)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"revelation/internal/disk"
 	"revelation/internal/leakcheck"
 	"revelation/internal/metrics"
+	"revelation/internal/trace"
 )
 
 // startServer serves devs on a loopback port and tears everything down
@@ -108,6 +109,49 @@ func TestClientRoundtrip(t *testing.T) {
 	c.Close()
 	srv.Close()
 	leakcheck.CheckWithin(t, before, 2*time.Second)
+}
+
+// TestClientDiskTracer pins the client's disk.TracerSetter contract: a
+// traced client emits one disk-layer event per logical access with the
+// client-side head accounting, so a trace replay reconstructs exactly
+// the Stats the client reports — the property the suite's three-way
+// verification over the pagesvc backend rests on.
+func TestClientDiskTracer(t *testing.T) {
+	sim := disk.New(16)
+	ps := sim.PageSize()
+	_, addr := startServer(t, []disk.Device{sim}, ServerConfig{})
+	c := dialT(t, ClientConfig{Primary: addr})
+
+	col := trace.NewCollector()
+	if !disk.AttachTracer(c, trace.New(col)) {
+		t.Fatal("Client did not accept a disk tracer")
+	}
+	buf := make([]byte, ps)
+	for _, p := range []disk.PageID{9, 2, 2, 14} {
+		if err := c.ReadPage(p, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WritePage(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	disk.AttachTracer(c, nil)
+	if err := c.ReadPage(0, buf); err != nil { // untraced
+		t.Fatal(err)
+	}
+
+	r := trace.ReplayEvents(col.Events())
+	if r.Reads != 4 || r.Writes != 1 {
+		t.Errorf("replay reads/writes = %d/%d, want 4/1", r.Reads, r.Writes)
+	}
+	st := c.Stats()
+	// The detached read moved the head 5→0 without an event.
+	if want := st.SeekReads - 5; r.SeekReads != want {
+		t.Errorf("replay SeekReads = %d, want %d", r.SeekReads, want)
+	}
+	if want := st.SeekTotal - 5; r.SeekTotal != want {
+		t.Errorf("replay SeekTotal = %d, want %d", r.SeekTotal, want)
+	}
 }
 
 // TestPipelining issues many concurrent reads over the one shared

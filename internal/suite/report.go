@@ -1,0 +1,103 @@
+package suite
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// SchemaVersion is the BENCH_*.json schema version. Bump it whenever a
+// field changes meaning or moves; consumers comparing trajectories
+// across commits key on it.
+const SchemaVersion = 1
+
+// Report is one suite execution: the BENCH_<suite>.json document.
+// Field order is the struct order and is part of the golden-tested
+// contract — append new fields at the end of the structs.
+type Report struct {
+	Schema    int              `json:"schema"`
+	Suite     string           `json:"suite"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// ScenarioResult is one scenario's aggregated measurement. All fields
+// except the wall-clock group at the end are deterministic functions of
+// the scenario definition: two runs of the same config at the same
+// commit produce identical values, which is what makes the file a
+// reviewable trajectory rather than noise.
+type ScenarioResult struct {
+	Name       string `json:"name"`
+	Workload   string `json:"workload"`
+	Shape      string `json:"shape"`
+	Scheduler  string `json:"scheduler"`
+	Backend    string `json:"backend"`
+	Clustering string `json:"clustering"`
+	Window     int    `json:"window"`
+	Objects    int    `json:"objects"`
+	Seed       int64  `json:"seed"`
+	Iters      int    `json:"iters"`
+
+	// Ops is the number of complex objects assembled per iteration —
+	// the unit the per-op rates normalize by.
+	Ops int `json:"ops"`
+
+	// Deterministic I/O and operator counters (per iteration).
+	Reads           int64   `json:"reads"`
+	SeekReads       int64   `json:"seek_reads"`
+	SeekTotal       int64   `json:"seek_total"`
+	AvgSeek         float64 `json:"avg_seek"`
+	BufferHits      int64   `json:"buffer_hits"`
+	BufferMisses    int64   `json:"buffer_misses"`
+	Assembled       int     `json:"assembled"`
+	Aborted         int     `json:"aborted"`
+	Skipped         int     `json:"skipped"`
+	Retries         int     `json:"retries"`
+	Stalls          int     `json:"stalls"`
+	PeakWindow      int     `json:"peak_window"`
+	PeakWindowPages int     `json:"peak_window_pages"`
+
+	// Verified records that the iteration passed three-way
+	// verification: harness counters == trace replay == metrics
+	// registry delta. The runner fails hard when it doesn't, so a
+	// written report always says true — the field exists so consumers
+	// need not know that contract.
+	Verified bool `json:"verified"`
+
+	// Wall-clock fields: machine-dependent, excluded from Canonical().
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// sortScenarios orders results by name — the report's ordering-stable
+// contract.
+func (r *Report) sortScenarios() {
+	sort.Slice(r.Scenarios, func(a, b int) bool {
+		return r.Scenarios[a].Name < r.Scenarios[b].Name
+	})
+}
+
+// JSON renders the report, scenarios sorted by name, with a trailing
+// newline.
+func (r *Report) JSON() ([]byte, error) {
+	r.sortScenarios()
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Canonical returns a copy with the wall-clock fields zeroed: the
+// deterministic projection two runs of the same suite at the same
+// commit must agree on byte-for-byte. Golden and determinism tests
+// compare Canonical().JSON().
+func (r *Report) Canonical() *Report {
+	c := &Report{Schema: r.Schema, Suite: r.Suite, Scenarios: append([]ScenarioResult(nil), r.Scenarios...)}
+	for i := range c.Scenarios {
+		c.Scenarios[i].NsPerOp = 0
+		c.Scenarios[i].AllocsPerOp = 0
+		c.Scenarios[i].BytesPerOp = 0
+	}
+	c.sortScenarios()
+	return c
+}

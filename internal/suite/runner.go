@@ -1,0 +1,296 @@
+package suite
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"revelation/internal/assembly"
+	"revelation/internal/bench"
+	"revelation/internal/disk"
+	"revelation/internal/metrics"
+	"revelation/internal/trace"
+)
+
+// RunOptions tunes a suite execution.
+type RunOptions struct {
+	// Suite selects which scenarios run (Scenario.Suites membership).
+	Suite string
+	// Iters overrides every scenario's iteration count when positive.
+	Iters int
+	// Logf, when non-nil, receives one progress line per scenario.
+	Logf func(format string, args ...any)
+}
+
+// detCounters is the deterministic projection of one iteration — the
+// values that must be identical across iterations of the same scenario
+// and across whole suite runs under the same seeds.
+type detCounters struct {
+	Ops             int
+	Reads           int64
+	SeekReads       int64
+	SeekTotal       int64
+	Hits            int64
+	Misses          int64
+	Assembled       int
+	Aborted         int
+	Skipped         int
+	Retries         int
+	Stalls          int
+	PeakWindow      int
+	PeakWindowPages int
+}
+
+// iterResult is one iteration's full measurement.
+type iterResult struct {
+	det     detCounters
+	elapsed time.Duration
+	mallocs uint64
+	bytes   uint64
+}
+
+// Run executes every scenario belonging to opt.Suite and returns the
+// report. Every iteration of every scenario is three-way verified —
+// harness counters against the trace replay against the metrics
+// registry delta — and iterations are cross-checked for determinism;
+// any disagreement fails the run.
+func Run(all []Scenario, opt RunOptions) (*Report, error) {
+	if opt.Suite == "" {
+		opt.Suite = "core"
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rep := &Report{Schema: SchemaVersion, Suite: opt.Suite}
+	matched := 0
+	for _, sc := range all {
+		if !sc.InSuite(opt.Suite) {
+			continue
+		}
+		matched++
+		if opt.Iters > 0 {
+			sc.Iters = opt.Iters
+		}
+		res, err := runScenario(sc)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		logf("%-32s %-11s ops=%-5d reads=%-6d avgseek=%7.1f ns/op=%d",
+			sc.Name, sc.Workload, res.Ops, res.Reads, res.AvgSeek, res.NsPerOp)
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("no scenarios in suite %q", opt.Suite)
+	}
+	rep.sortScenarios()
+	return rep, nil
+}
+
+// runScenario executes warmup + iters iterations and aggregates. The
+// deterministic counters of every iteration (warmup included) must be
+// identical; the wall-clock rates average over the measured iterations.
+func runScenario(sc Scenario) (ScenarioResult, error) {
+	var first *detCounters
+	var elapsed time.Duration
+	var mallocs, bytes uint64
+	for i := 0; i < sc.Warmup+sc.Iters; i++ {
+		it, err := runIteration(sc)
+		if err != nil {
+			return ScenarioResult{}, fmt.Errorf("iteration %d: %w", i, err)
+		}
+		if first == nil {
+			d := it.det
+			first = &d
+		} else if it.det != *first {
+			return ScenarioResult{}, fmt.Errorf(
+				"iteration %d not deterministic:\n  first %+v\n  now   %+v", i, *first, it.det)
+		}
+		if i >= sc.Warmup {
+			elapsed += it.elapsed
+			mallocs += it.mallocs
+			bytes += it.bytes
+		}
+	}
+	d := *first
+	n := int64(sc.Iters)
+	perOp := int64(d.Ops) * n
+	if perOp == 0 {
+		perOp = 1 // avoid dividing by zero when nothing assembled
+	}
+	avgSeek := 0.0
+	if d.Reads > 0 {
+		avgSeek = float64(d.SeekReads) / float64(d.Reads)
+	}
+	return ScenarioResult{
+		Name:            sc.Name,
+		Workload:        string(sc.Workload),
+		Shape:           string(sc.Shape),
+		Scheduler:       sc.Scheduler.String(),
+		Backend:         string(sc.Backend),
+		Clustering:      sc.Clustering.String(),
+		Window:          sc.Window,
+		Objects:         sc.Objects,
+		Seed:            sc.Seed,
+		Iters:           sc.Iters,
+		Ops:             d.Ops,
+		Reads:           d.Reads,
+		SeekReads:       d.SeekReads,
+		SeekTotal:       d.SeekTotal,
+		AvgSeek:         avgSeek,
+		BufferHits:      d.Hits,
+		BufferMisses:    d.Misses,
+		Assembled:       d.Assembled,
+		Aborted:         d.Aborted,
+		Skipped:         d.Skipped,
+		Retries:         d.Retries,
+		Stalls:          d.Stalls,
+		PeakWindow:      d.PeakWindow,
+		PeakWindowPages: d.PeakWindowPages,
+		Verified:        true,
+		NsPerOp:         elapsed.Nanoseconds() / perOp,
+		AllocsPerOp:     int64(mallocs) / perOp,
+		BytesPerOp:      int64(bytes) / perOp,
+	}, nil
+}
+
+// runIteration builds a fresh environment, measures one execution of
+// the workload through the shared bench measurement core, and three-way
+// verifies it.
+func runIteration(sc Scenario) (iterResult, error) {
+	col := trace.NewCollector()
+	tr := trace.New(col)
+	reg := metrics.NewRegistry()
+	e, err := buildEnv(sc, tr, reg)
+	if err != nil {
+		return iterResult{}, err
+	}
+	defer e.close()
+
+	disk.RegisterMetrics(e.db.Device, reg, "dev")
+	e.db.Pool.RegisterMetrics(reg, "pool")
+
+	var prep *prepared
+	if sc.Workload == WorkloadIncremental {
+		// Standing-query registration is part of setup, not of the
+		// measured incremental maintenance.
+		if prep, err = register(e); err != nil {
+			return iterResult{}, err
+		}
+	}
+	e.armFaults(sc)
+
+	m, err := bench.StartMeasurement(sc.Name, sc.Window, e.db.Device, e.db.Pool, tr)
+	if err != nil {
+		return iterResult{}, err
+	}
+	before := reg.Snapshot()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+
+	st, ops, err := runWorkload(sc, e, tr, reg, prep)
+	if err != nil {
+		m.Abort()
+		return iterResult{}, err
+	}
+
+	runtime.ReadMemStats(&ms1)
+	got := m.End(st)
+	delta := reg.Snapshot().Delta(before)
+
+	// Leg 1: the trace replay must reconstruct exactly the counters the
+	// harness reported in the end-of-run marker.
+	var run *trace.Run
+	for _, r := range trace.SplitRuns(col.Events()) {
+		if r.Name == sc.Name {
+			rr := r
+			run = &rr
+		}
+	}
+	if run == nil || run.Reported == nil {
+		return iterResult{}, fmt.Errorf("trace has no completed run %q", sc.Name)
+	}
+	replay, err := run.Verify()
+	if err != nil {
+		return iterResult{}, fmt.Errorf("trace replay disagrees with harness: %w", err)
+	}
+
+	// Leg 2: the metrics registry's delta over the measured phase must
+	// agree with the same counters.
+	if err := verifyRegistry(sc, e, delta, got, st); err != nil {
+		return iterResult{}, err
+	}
+
+	return iterResult{
+		det: detCounters{
+			Ops:             ops,
+			Reads:           got.Dev.Reads,
+			SeekReads:       got.Dev.SeekReads,
+			SeekTotal:       got.Dev.SeekTotal,
+			Hits:            got.Pool.Hits,
+			Misses:          got.Pool.Faults,
+			Assembled:       st.Assembled,
+			Aborted:         st.Aborted,
+			Skipped:         st.Skipped,
+			Retries:         st.FaultRetries,
+			Stalls:          st.WindowStalls,
+			PeakWindow:      replay.PeakWindow,
+			PeakWindowPages: st.PeakWindowPgs,
+		},
+		elapsed: got.Elapsed,
+		mallocs: ms1.Mallocs - ms0.Mallocs,
+		bytes:   ms1.TotalAlloc - ms0.TotalAlloc,
+	}, nil
+}
+
+// verifyRegistry is the registry leg of the three-way check: assembly
+// and buffer counters always, disk counters when the device exports
+// them, and the page-service client's net counters on the pagesvc
+// backend (one send and one recv per logical page access in a
+// fault-free run).
+func verifyRegistry(sc Scenario, e *env, d metrics.Snapshot, got bench.Measured, st assembly.Stats) error {
+	policy := sc.Scheduler.String()
+	for _, c := range []struct {
+		name string
+		reg  int64
+		want int64
+	}{
+		{"asm_assembly_assembled_total", d.Value("asm_assembly_assembled_total", "policy", policy), int64(st.Assembled)},
+		{"asm_assembly_aborted_total", d.Value("asm_assembly_aborted_total", "policy", policy), int64(st.Aborted)},
+		{"asm_assembly_skipped_total", d.Value("asm_assembly_skipped_total", "policy", policy), int64(st.Skipped)},
+		{"asm_assembly_fault_retries_total", d.Value("asm_assembly_fault_retries_total", "policy", policy), int64(st.FaultRetries)},
+		{"asm_assembly_window_stalls_total", d.Value("asm_assembly_window_stalls_total", "policy", policy), int64(st.WindowStalls)},
+		{"asm_buffer_hits_total", d.Value("asm_buffer_hits_total", "pool", "pool"), got.Pool.Hits},
+		{"asm_buffer_misses_total", d.Value("asm_buffer_misses_total", "pool", "pool"), got.Pool.Faults},
+	} {
+		if c.reg != c.want {
+			return fmt.Errorf("registry disagrees with harness: %s delta %d, harness %d", c.name, c.reg, c.want)
+		}
+	}
+	if e.netDev != "" {
+		// The client exports net counters instead of disk counters: a
+		// fault-free run sends exactly one request and receives exactly
+		// one response per logical page access.
+		accesses := got.Dev.Reads + got.Dev.Writes
+		sends := d.Value("asm_net_sends_total", "dev", e.netDev)
+		recvs := d.Value("asm_net_recvs_total", "dev", e.netDev)
+		if sends != accesses || recvs != accesses {
+			return fmt.Errorf("registry disagrees with harness: net sends/recvs %d/%d, page accesses %d",
+				sends, recvs, accesses)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		want int64
+	}{
+		{"asm_disk_reads_total", got.Dev.Reads},
+		{"asm_disk_read_seek_pages_total", got.Dev.SeekReads},
+		{"asm_disk_seek_pages_total", got.Dev.SeekTotal},
+	} {
+		if reg := d.Value(c.name, "dev", "dev"); reg != c.want {
+			return fmt.Errorf("registry disagrees with harness: %s delta %d, harness %d", c.name, reg, c.want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package suite
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"revelation/internal/assembly"
+	"revelation/internal/disk"
+	"revelation/internal/gen"
+	"revelation/internal/metrics"
+	"revelation/internal/object"
+	"revelation/internal/pagesvc"
+	"revelation/internal/trace"
+	"revelation/internal/volcano"
+)
+
+// env is one fully built scenario environment: a fresh database on the
+// scenario's device backend. Every iteration gets its own env, so
+// iterations are independent and byte-identical under the same seed.
+type env struct {
+	db     *gen.Database
+	faulty *disk.Faulty // non-nil when the scenario arms fault/stall knobs
+	netDev string       // metrics label of the pagesvc client, "" otherwise
+	closes []func() error
+}
+
+func (e *env) close() {
+	for i := len(e.closes) - 1; i >= 0; i-- {
+		e.closes[i]()
+	}
+}
+
+// buildEnv constructs the scenario's device stack and generates the
+// database onto it. The tracer is wired only into the page-service
+// client's net layer here; disk-layer tracing is attached by the
+// measurement bracket. The registry receives the client's asm_net_*
+// counters (device and pool counters are registered by the runner).
+func buildEnv(sc Scenario, tr *trace.Tracer, reg *metrics.Registry) (*env, error) {
+	e := &env{}
+	cfg := sc.genConfig()
+	faulted := sc.FaultTransient > 0 || sc.FaultPermanent > 0 || sc.StallRate > 0
+
+	switch sc.Backend {
+	case BackendLocal:
+		if faulted {
+			// The injector stays disarmed during the build; the runner
+			// arms it right before the measured phase.
+			e.faulty = disk.NewFaulty(disk.New(0), disk.FaultConfig{})
+			cfg.Device = e.faulty
+		}
+	case BackendFile:
+		dir, err := os.MkdirTemp("", "asmsuite-*")
+		if err != nil {
+			return nil, err
+		}
+		e.closes = append(e.closes, func() error { return os.RemoveAll(dir) })
+		fd, err := disk.OpenFile(filepath.Join(dir, sc.Name+".db"), disk.DefaultPageSize)
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		e.closes = append(e.closes, fd.Close)
+		cfg.Device = fd
+	case BackendPagesvc:
+		sim := disk.New(0)
+		srv := pagesvc.NewServer([]disk.Device{sim}, pagesvc.ServerConfig{})
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		e.closes = append(e.closes, srv.Close)
+		client, err := pagesvc.Dial(pagesvc.ClientConfig{
+			Primary:  addr,
+			Dev:      pagesvc.DataDev,
+			Tracer:   tr,
+			Registry: reg,
+		})
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		e.closes = append(e.closes, client.Close)
+		e.netDev = fmt.Sprintf("net%d", pagesvc.DataDev)
+		cfg.Device = client
+	default:
+		return nil, fmt.Errorf("suite: unknown backend %q", sc.Backend)
+	}
+
+	db, err := gen.Build(cfg)
+	if err != nil {
+		e.close()
+		return nil, err
+	}
+	e.db = db
+	return e, nil
+}
+
+// armFaults configures the injector for the measured phase.
+func (e *env) armFaults(sc Scenario) {
+	if e.faulty == nil {
+		return
+	}
+	e.faulty.SetConfig(disk.FaultConfig{
+		Seed:              sc.FaultSeed,
+		TransientRate:     sc.FaultTransient,
+		TransientFailures: 2,
+		PermanentRate:     sc.FaultPermanent,
+		StallRate:         sc.StallRate,
+		Stall:             sc.Stall,
+	})
+}
+
+// options builds the operator options for the scenario.
+func (sc Scenario) options(tr *trace.Tracer, reg *metrics.Registry) assembly.Options {
+	return assembly.Options{
+		Window:          sc.Window,
+		Scheduler:       sc.Scheduler,
+		UseSharingStats: sc.UseSharingStats,
+		PinWindowPages:  sc.PinWindow,
+		PageBatch:       sc.PageBatch,
+		FaultPolicy:     sc.FaultPolicy,
+		Tracer:          tr,
+		Metrics:         reg,
+	}
+}
+
+// assembleRoots runs the assembly operator over the given roots and
+// returns its stats after checking the drain count matches.
+func assembleRoots(sc Scenario, e *env, roots []object.OID, tr *trace.Tracer, reg *metrics.Registry) (assembly.Stats, error) {
+	items := make([]volcano.Item, len(roots))
+	for i, r := range roots {
+		items[i] = r
+	}
+	op := assembly.New(volcano.NewSlice(items), e.db.Store, e.db.Template, sc.options(tr, reg))
+	n, err := volcano.Count(op)
+	if err != nil {
+		return assembly.Stats{}, err
+	}
+	st := op.Stats()
+	if n != st.Assembled {
+		return st, fmt.Errorf("suite %s: drained %d objects but operator assembled %d", sc.Name, n, st.Assembled)
+	}
+	return st, nil
+}
+
+// runWorkload executes the scenario's measured phase and returns the
+// operator stats plus the op count (assembled complex objects) the
+// per-op rates normalize by.
+func runWorkload(sc Scenario, e *env, tr *trace.Tracer, reg *metrics.Registry, prep *prepared) (assembly.Stats, int, error) {
+	switch sc.Workload {
+	case WorkloadTimeSeries:
+		roots, err := appendTrees(sc, e)
+		if err != nil {
+			return assembly.Stats{}, 0, err
+		}
+		st, err := assembleRoots(sc, e, roots, tr, reg)
+		return st, st.Assembled, err
+	case WorkloadIncremental:
+		roots, err := mutateComponents(sc, e, prep)
+		if err != nil {
+			return assembly.Stats{}, 0, err
+		}
+		st, err := assembleRoots(sc, e, roots, tr, reg)
+		return st, st.Assembled, err
+	default: // WorkloadAssemble
+		st, err := assembleRoots(sc, e, e.db.Roots, tr, reg)
+		return st, st.Assembled, err
+	}
+}
+
+// appendTrees materializes AppendCount fresh complex objects at the
+// extent's tail — time-ordered arrivals landing on the headroom pages —
+// and returns their roots. Runs inside the measured phase: the page
+// faults the appends take are part of the workload.
+func appendTrees(sc Scenario, e *env) ([]object.OID, error) {
+	db := e.db
+	rng := rand.New(rand.NewSource(sc.Seed + 1))
+	positions := len(db.Positions)
+	objPerPage := (disk.DefaultPageSize - 32) / (96 + 4)
+	nextOID := db.NextOID
+	placed := 0
+	roots := make([]object.OID, 0, sc.AppendCount)
+	for t := 0; t < sc.AppendCount; t++ {
+		oids := make([]object.OID, positions)
+		for p := range oids {
+			oids[p] = nextOID
+			nextOID++
+		}
+		roots = append(roots, oids[0])
+		for p := 0; p < positions; p++ {
+			o := &object.Object{
+				OID:   oids[p],
+				Class: db.Positions[p].ID,
+				Ints:  []int32{int32(t), int32(rng.Intn(1000)), int32(t), int32(p)},
+				Refs:  make([]object.OID, 8),
+			}
+			for f, cp := range db.Children[p] {
+				o.Refs[f] = oids[cp]
+			}
+			page := db.DataPages + placed/objPerPage
+			if _, err := db.Store.PutAt(o, page); err != nil {
+				return nil, fmt.Errorf("suite %s: append tree %d: %w", sc.Name, t, err)
+			}
+			placed++
+		}
+	}
+	return roots, nil
+}
+
+// prepared is the standing-query registration the incremental workload
+// builds before measurement: for every component, the roots whose
+// assembled result it feeds.
+type prepared struct {
+	rootsOf map[object.OID][]object.OID
+	// comps is the deterministic mutation candidate list: every
+	// component OID in ascending order.
+	comps []object.OID
+}
+
+// register walks every root's object graph (unmeasured — this is the
+// standing query's registration pass) and builds the reverse
+// dependency index. Shared components map to every root that reaches
+// them, which is what makes re-assembly after a shared-leaf mutation
+// touch all its dependents.
+func register(e *env) (*prepared, error) {
+	p := &prepared{rootsOf: map[object.OID][]object.OID{}}
+	seenComp := map[object.OID]bool{}
+	for _, root := range e.db.Roots {
+		var walk func(oid object.OID) error
+		seen := map[object.OID]bool{}
+		walk = func(oid object.OID) error {
+			if oid.IsNil() || seen[oid] {
+				return nil
+			}
+			seen[oid] = true
+			if !seenComp[oid] {
+				seenComp[oid] = true
+				p.comps = append(p.comps, oid)
+			}
+			rs := p.rootsOf[oid]
+			if len(rs) == 0 || rs[len(rs)-1] != root {
+				p.rootsOf[oid] = append(rs, root)
+			}
+			o, err := e.db.Store.Get(oid)
+			if err != nil {
+				return err
+			}
+			for _, ref := range o.Refs {
+				if err := walk(ref); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(root); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(p.comps, func(a, b int) bool { return p.comps[a] < p.comps[b] })
+	return p, nil
+}
+
+// mutateComponents updates MutateCount components in place and returns
+// the affected roots in deterministic order — the set the standing
+// query must re-assemble. Runs inside the measured phase: the reads
+// and in-place writes are part of the workload.
+func mutateComponents(sc Scenario, e *env, prep *prepared) ([]object.OID, error) {
+	rng := rand.New(rand.NewSource(sc.Seed + 2))
+	affected := map[object.OID]bool{}
+	for i := 0; i < sc.MutateCount; i++ {
+		oid := prep.comps[rng.Intn(len(prep.comps))]
+		o, err := e.db.Store.Get(oid)
+		if err != nil {
+			return nil, err
+		}
+		o.Ints[1] = int32(rng.Intn(1000))
+		if err := e.db.Store.Update(o); err != nil {
+			return nil, err
+		}
+		for _, root := range prep.rootsOf[oid] {
+			affected[root] = true
+		}
+	}
+	roots := make([]object.OID, 0, len(affected))
+	for r := range affected {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(a, b int) bool { return roots[a] < roots[b] })
+	return roots, nil
+}
