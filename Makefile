@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race race-core chaos-test net-chaos-test crash-test fuzz-smoke bench figures suite suite-smoke trace-demo serve-demo examples cover clean
+.PHONY: all check build vet test test-race race-core chaos-test net-chaos-test crash-test fuzz-smoke bench figures suite suite-smoke trace-demo tracez-smoke serve-demo examples cover clean
 
 all: check
 
@@ -70,6 +70,13 @@ suite:
 suite-smoke:
 	$(GO) test -race -timeout 5m ./internal/suite
 	$(GO) run -race ./cmd/asmsuite -suite smoke -out /dev/null -v
+
+# End-to-end smoke test for per-query tracing: boot asmserve, run
+# /query requests, and check /tracez shows their span trees with
+# critical-path attribution (plus the slow-query log and the /statusz
+# latency quantiles). Part of CI.
+tracez-smoke:
+	sh scripts/tracez_smoke.sh
 
 # End-to-end observability demo: record a traced benchmark run, then
 # replay the trace and verify it reconstructs the reported counters.

@@ -31,6 +31,7 @@ import (
 	"revelation/internal/metrics"
 	"revelation/internal/page"
 	"revelation/internal/pagesvc"
+	"revelation/internal/qtrace"
 )
 
 func main() {
@@ -55,7 +56,10 @@ func main() {
 	data.RegisterMetrics(reg, "data")
 
 	devs := []disk.Device{data}
-	cfg := pagesvc.ServerConfig{Registry: reg}
+	// Requests arriving with a query id (protocol v2) build server-side
+	// traces; the -metrics mux exposes them on /tracez.
+	qt := qtrace.NewCollector(0)
+	cfg := pagesvc.ServerConfig{Registry: reg, QTrace: qt}
 
 	var repl *pagesvc.Replica
 	switch {
@@ -94,12 +98,13 @@ func main() {
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/tracez", qtrace.Handler(qt))
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "asmpaged: metrics: %v\n", err)
 			}
 		}()
-		fmt.Printf("asmpaged: metrics on %s/metrics\n", *metricsAddr)
+		fmt.Printf("asmpaged: metrics on %s/metrics, traces on /tracez\n", *metricsAddr)
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -3,6 +3,7 @@
 //
 //	GET /metrics       Prometheus text exposition of every counter
 //	GET /statusz       human-readable snapshot with occupancy sparkline
+//	GET /tracez        recent per-query traces: timelines, critical paths
 //	GET /query         run one assembly query under a deadline
 //	GET /debug/pprof/  standard Go profiler endpoints
 //
@@ -10,7 +11,7 @@
 //
 //	asmserve [-addr :8091] [-figure faults|fig13c|...] [-scale 0.5]
 //	         [-interval 1s] [-once] [-max-concurrent 4]
-//	         [-query-timeout 5s] [-query-window 10]
+//	         [-query-timeout 5s] [-query-window 10] [-slow-query 500ms]
 //
 // The workload is one of asmbench's figures, re-run every -interval
 // until the process is interrupted (-once stops after a single pass).
@@ -25,8 +26,15 @@
 // 504), each holding a buffer-frame reservation so overload sheds at
 // admission instead of thrashing the pool (DESIGN.md §11).
 //
+// Every /query gets a query ID (echoed in the X-Query-Id response
+// header) and a span tree; /tracez shows the most recent completed
+// traces with per-layer critical-path attribution, and queries slower
+// than -slow-query land in its slow-query log plus one stderr line
+// each (DESIGN.md §14).
+//
 //	curl -s localhost:8091/metrics | grep asm_disk
 //	curl -s "localhost:8091/query?deadline=250ms"
+//	curl -s localhost:8091/tracez
 //	go tool pprof http://localhost:8091/debug/pprof/profile?seconds=5
 package main
 
@@ -48,6 +56,7 @@ import (
 	"revelation/internal/gen"
 	"revelation/internal/metrics"
 	"revelation/internal/pagesvc"
+	"revelation/internal/qtrace"
 	"revelation/internal/query"
 	"revelation/internal/serve"
 	"revelation/internal/volcano"
@@ -63,9 +72,14 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 5*time.Second, "default /query deadline (?deadline= overrides)")
 	queryWindow := flag.Int("query-window", 10, "assembly window for /query requests")
 	pages := flag.String("pages", "", "comma-separated page-service endpoints, primary first (see cmd/asmpaged); /query pages are restored to and read from the service instead of local memory")
+	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "queries at least this slow land in the /tracez slow-query log and log one line; 0 disables")
 	flag.Parse()
 
 	reg := metrics.NewRegistry()
+	qt := qtrace.NewCollector(0)
+	qt.SetSlowThreshold(*slowQuery, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "asmserve: "+format+"\n", args...)
+	})
 	runner := bench.NewRunner()
 	runner.Metrics = reg
 
@@ -94,6 +108,7 @@ func main() {
 		Query:         queryFn,
 		MaxConcurrent: *maxConcurrent,
 		QueryTimeout:  *queryTimeout,
+		QTrace:        qt,
 	})
 	srv.Start()
 	defer srv.Stop()
@@ -182,13 +197,14 @@ func queryWorkload(reg *metrics.Registry, scale float64, window int, pages strin
 			Scheduler:     assembly.Elevator,
 			ReserveFrames: reserve,
 		}
+		sp, ctx := qtrace.Start(ctx, qtrace.LayerPlan, "reveal")
 		plan, err := query.Reveal(db.Store, q, opts)
+		sp.End()
 		if err != nil {
 			return "", err
 		}
-		volcano.Bind(ctx, plan)
 		start := time.Now()
-		items, err := volcano.Drain(plan)
+		items, err := volcano.DrainCtx(ctx, plan)
 		if err != nil {
 			return "", err
 		}

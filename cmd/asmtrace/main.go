@@ -11,10 +11,16 @@
 //
 // Usage:
 //
-//	asmtrace [-occupancy] [-hist] [-summary] [-q] trace.jsonl
+//	asmtrace [-occupancy] [-hist] [-summary] [-q] [-query <id>] trace.jsonl
 //
 // With no selection flags everything is printed. -q suppresses
 // per-run detail and prints only the verification verdict.
+//
+// -query filters the replay to the events attributed to one query id
+// (events carry qid since protocol v2 of the tracing layer) and prints
+// that query's reconstruction alone: what it read, how far its reads
+// seeked, what it assembled, and its per-layer event census. Run
+// markers are global, so per-query mode skips run verification.
 package main
 
 import (
@@ -31,9 +37,10 @@ func main() {
 	hist := flag.Bool("hist", false, "print the seek-distance histogram per run")
 	summary := flag.Bool("summary", false, "print the per-layer event summary per run")
 	quiet := flag.Bool("q", false, "only verify: print one verdict line per run")
+	queryID := flag.Uint64("query", 0, "replay only the events attributed to this query id")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: asmtrace [-occupancy] [-hist] [-summary] [-q] trace.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: asmtrace [-occupancy] [-hist] [-summary] [-q] [-query <id>] trace.jsonl")
 		os.Exit(2)
 	}
 	// No selection flags: print everything.
@@ -48,6 +55,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asmtrace: %v\n", err)
 		os.Exit(1)
+	}
+	if *queryID != 0 {
+		replayQuery(events, *queryID, *hist, *occupancy)
+		return
 	}
 	runs := trace.SplitRuns(events)
 	if len(runs) == 0 {
@@ -98,6 +109,33 @@ func main() {
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "asmtrace: %d run(s) failed verification\n", failures)
 		os.Exit(1)
+	}
+}
+
+// replayQuery reconstructs one query from its attributed events.
+func replayQuery(events []trace.Event, qid uint64, hist, occupancy bool) {
+	evs := trace.FilterQuery(events, qid)
+	if len(evs) == 0 {
+		fmt.Fprintf(os.Stderr, "asmtrace: no events for query %d\n", qid)
+		os.Exit(1)
+	}
+	r := trace.ReplayEvents(evs)
+	fmt.Printf("query %d: %d events\n", qid, r.Events)
+	fmt.Printf("  disk:     %d reads, %d seek pages (%.1f avg/read), %d faults\n",
+		r.Reads, r.SeekReads, r.AvgSeekPerRead(), r.FaultsTransient+r.FaultsPermanent)
+	fmt.Printf("  buffer:   %d hits, %d misses\n", r.Hits, r.Misses)
+	fmt.Printf("  assembly: %d fetched, %d links, %d retries, %d stalls, %d assembled\n",
+		r.Fetched, r.Links, r.Retries, r.Stalls, r.Assembled)
+	if r.NetSends > 0 || r.NetRecvs > 0 {
+		fmt.Printf("  net:      %d sends, %d recvs, %d timeouts, %d hedges\n",
+			r.NetSends, r.NetRecvs, r.NetTimeouts, r.Hedges)
+	}
+	fmt.Printf("--- layers ---\n%s", indent(r.Summary()))
+	if hist {
+		fmt.Printf("--- seek distances ---\n%s", indent(r.SeekHist.String()))
+	}
+	if occupancy {
+		fmt.Printf("--- window ---\n%s", indent(r.OccupancyTable(72)))
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"revelation/internal/metrics"
 	"revelation/internal/object"
 	"revelation/internal/page"
+	"revelation/internal/qtrace"
 	"revelation/internal/trace"
 	"revelation/internal/volcano"
 )
@@ -175,6 +176,14 @@ type Operator struct {
 	// bounds pin waits, and drives the abort path. Nil means unbounded
 	// (the pre-lifecycle behavior).
 	ctx context.Context
+	// qspan is the operator's per-query span (see internal/qtrace),
+	// opened at Open under the span carried in ctx; qctx carries it to
+	// the buffer and storage layers so fetches, hits, misses, and
+	// device seeks attribute to this query. Both are nil (no-ops) when
+	// the query is untraced. qid stamps every assembly trace event.
+	qspan *qtrace.Span
+	qctx  context.Context
+	qid   uint64
 	// reservation is the frame quota admitted at Open (ReserveFrames).
 	reservation *buffer.Reservation
 }
@@ -260,6 +269,8 @@ func (op *Operator) Open() error {
 	op.cells.occupancy.Set(0)
 	op.pressure = false
 	op.stall = 0
+	op.qspan, op.qctx = qtrace.Start(op.ctx, qtrace.LayerAssembly, "assemble")
+	op.qid = op.qspan.QID()
 	if op.Opts.ReserveFrames > 0 {
 		r, err := op.Store.File.Pool().Reserve(op.Opts.ReserveFrames)
 		if err != nil {
@@ -270,6 +281,7 @@ func (op *Operator) Open() error {
 	if err := op.Input.Open(); err != nil {
 		op.reservation.Release()
 		op.reservation = nil
+		op.qspan.End()
 		return err
 	}
 	op.open = true
@@ -338,7 +350,7 @@ func (op *Operator) Next() (volcano.Item, error) {
 		// The policy decision: which reference the scheduler picked
 		// given the head position — the choice the whole paper is about.
 		if op.tr != nil {
-			op.tr.Assembly(trace.KindChoose, uint64(ref.OID), int64(ref.RID.Page), int64(head), op.sched.Name())
+			op.tr.AssemblyQ(trace.KindChoose, uint64(ref.OID), int64(ref.RID.Page), int64(head), op.sched.Name(), op.qid)
 		}
 		if err := op.resolve(ref); err != nil {
 			return nil, op.fail(err)
@@ -365,6 +377,7 @@ func (op *Operator) Close() error {
 	op.outq = nil
 	op.sched = nil
 	op.shared = nil
+	op.qspan.End()
 	// The admission quota returns to the pool on every exit path, error
 	// or not — a leaked reservation would shed later queries forever.
 	op.reservation.Release()
@@ -402,7 +415,7 @@ func (op *Operator) pinPage(item *workItem, pg disk.PageID) {
 	if !op.Opts.PinWindowPages || op.pressure {
 		return
 	}
-	f, err := op.Store.File.Pool().Fix(pg)
+	f, err := op.Store.File.Pool().FixAs(op.qctx, pg)
 	if err != nil {
 		return
 	}
@@ -476,17 +489,17 @@ func (op *Operator) admit() error {
 			delete(op.liveSet, item)
 			return nil
 		}
-		op.tr.Assembly(trace.KindAdmit, uint64(v), trace.NoPage, trace.NoPage, "")
+		op.tr.AssemblyQ(trace.KindAdmit, uint64(v), trace.NoPage, trace.NoPage, "", op.qid)
 		if err := op.scheduleRef(item, nil, 0, op.Template, v); err != nil {
 			return err
 		}
 	case *object.Object:
-		op.tr.Assembly(trace.KindAdmit, uint64(v.OID), trace.NoPage, trace.NoPage, "")
+		op.tr.AssemblyQ(trace.KindAdmit, uint64(v.OID), trace.NoPage, trace.NoPage, "", op.qid)
 		if _, err := op.place(item, nil, 0, op.Template, v, op.pageOf(v.OID)); err != nil {
 			return err
 		}
 	case *Instance:
-		op.tr.Assembly(trace.KindAdmit, uint64(v.OID()), trace.NoPage, trace.NoPage, "")
+		op.tr.AssemblyQ(trace.KindAdmit, uint64(v.OID()), trace.NoPage, trace.NoPage, "", op.qid)
 		if err := op.adopt(item, v); err != nil {
 			return err
 		}
@@ -497,7 +510,7 @@ func (op *Operator) admit() error {
 			delete(op.liveSet, item)
 			return nil
 		}
-		op.tr.Assembly(trace.KindAdmit, uint64(v.Root), trace.NoPage, trace.NoPage, "")
+		op.tr.AssemblyQ(trace.KindAdmit, uint64(v.Root), trace.NoPage, trace.NoPage, "", op.qid)
 		item.pre = v.Sub
 		if err := op.scheduleRef(item, nil, 0, op.Template, v.Root); err != nil {
 			return err
@@ -555,7 +568,7 @@ func (op *Operator) dispatch(refs ...*Ref) {
 	}
 	if op.tr != nil {
 		for _, r := range refs {
-			op.tr.Assembly(trace.KindPend, uint64(r.OID), int64(r.RID.Page), trace.NoPage, "")
+			op.tr.AssemblyQ(trace.KindPend, uint64(r.OID), int64(r.RID.Page), trace.NoPage, "", op.qid)
 		}
 	}
 	op.sched.Add(refs...)
@@ -616,11 +629,11 @@ func (op *Operator) resolve(ref *Ref) error {
 		// The first ref already traced as the scheduler's choice; the
 		// rest of the batch drained with it on the single page fix.
 		for _, r := range batch[1:] {
-			op.tr.Assembly(trace.KindTake, uint64(r.OID), int64(r.RID.Page), trace.NoPage, "")
+			op.tr.AssemblyQ(trace.KindTake, uint64(r.OID), int64(r.RID.Page), trace.NoPage, "", op.qid)
 		}
 	}
 	pool := op.Store.File.Pool()
-	fr, err := pool.Fix(ref.RID.Page)
+	fr, err := pool.FixAs(op.qctx, ref.RID.Page)
 	if err != nil {
 		return op.batchFault(batch, fmt.Errorf("assembly: fix page %d: %w", ref.RID.Page, err))
 	}
@@ -661,7 +674,8 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 			op.maybeRegisterShared(ref.Parent)
 			op.stats.SharedLinks++
 			op.cells.sharedLinks.Inc()
-			op.tr.Assembly(trace.KindLink, uint64(ref.OID), trace.NoPage, trace.NoPage, "intra")
+			op.qspan.OnLink()
+			op.tr.AssemblyQ(trace.KindLink, uint64(ref.OID), trace.NoPage, trace.NoPage, "intra", op.qid)
 			op.settle(item)
 			return nil
 		}
@@ -675,7 +689,8 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 				op.noteFootprint(item, inst.page)
 				op.stats.SharedLinks++
 				op.cells.sharedLinks.Inc()
-				op.tr.Assembly(trace.KindLink, uint64(ref.OID), trace.NoPage, trace.NoPage, "window")
+				op.qspan.OnLink()
+				op.tr.AssemblyQ(trace.KindLink, uint64(ref.OID), trace.NoPage, trace.NoPage, "window", op.qid)
 				op.settle(item)
 				return nil
 			}
@@ -688,7 +703,8 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 			op.link(item, ref, inst)
 			op.stats.SharedLinks++
 			op.cells.sharedLinks.Inc()
-			op.tr.Assembly(trace.KindLink, uint64(ref.OID), trace.NoPage, trace.NoPage, "stacked")
+			op.qspan.OnLink()
+			op.tr.AssemblyQ(trace.KindLink, uint64(ref.OID), trace.NoPage, trace.NoPage, "stacked", op.qid)
 			// The pre-assembled subtree may itself be partial: walk it
 			// for unresolved references and account its members.
 			if err := op.adoptSubtree(item, inst); err != nil {
@@ -715,7 +731,7 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 		}
 	} else {
 		var err error
-		obj, err = op.Store.GetAt(ref.RID)
+		obj, err = op.Store.GetAtCtx(op.qctx, ref.RID)
 		if err != nil {
 			return op.refFault(ref, fmt.Errorf("assembly: fetch %v: %w", ref.OID, err))
 		}
@@ -724,8 +740,9 @@ func (op *Operator) resolveOne(ref *Ref, pg *page.Page) error {
 	}
 	op.stats.Fetched++
 	op.cells.fetched.Inc()
+	op.qspan.OnFetch()
 	if op.tr != nil {
-		op.tr.Assembly(trace.KindFetch, uint64(ref.OID), int64(ref.RID.Page), trace.NoPage, "")
+		op.tr.AssemblyQ(trace.KindFetch, uint64(ref.OID), int64(ref.RID.Page), trace.NoPage, "", op.qid)
 	}
 	op.pinPage(item, ref.RID.Page)
 	inst, err := op.place(item, ref.Parent, ref.Slot, ref.Node, obj, ref.RID.Page)
@@ -767,7 +784,8 @@ func (op *Operator) refFault(ref *Ref, cause error) error {
 			op.pressure = true
 			op.stats.WindowStalls++
 			op.cells.windowStalls.Inc()
-			op.tr.Assembly(trace.KindStall, 0, trace.NoPage, trace.NoPage, "")
+			op.qspan.OnStall()
+			op.tr.AssemblyQ(trace.KindStall, 0, trace.NoPage, trace.NoPage, "", op.qid)
 		}
 		if err := op.shedPins(); err != nil {
 			return err
@@ -792,7 +810,8 @@ func (op *Operator) refFault(ref *Ref, cause error) error {
 				ref.Attempts++
 				op.stats.FaultRetries++
 				op.cells.faultRetries.Inc()
-				op.tr.Assembly(trace.KindRetry, uint64(ref.OID), int64(ref.RID.Page), trace.NoPage, "")
+				op.qspan.OnRefRetry()
+				op.tr.AssemblyQ(trace.KindRetry, uint64(ref.OID), int64(ref.RID.Page), trace.NoPage, "", op.qid)
 				item.pending++
 				op.dispatch(ref)
 				return nil
@@ -926,7 +945,7 @@ func (op *Operator) settle(item *workItem) {
 		op.cells.occupancy.Set(int64(op.liveItems))
 		op.stats.Assembled++
 		op.cells.assembled.Inc()
-		op.tr.Assembly(trace.KindEmit, uint64(item.root.OID()), trace.NoPage, trace.NoPage, "")
+		op.tr.AssemblyQ(trace.KindEmit, uint64(item.root.OID()), trace.NoPage, trace.NoPage, "", op.qid)
 		delete(op.liveSet, item)
 		op.outq = append(op.outq, item)
 	}
@@ -950,7 +969,7 @@ func (op *Operator) abortItem(item *workItem, reason string) error {
 	op.cells.occupancy.Set(int64(op.liveItems))
 	op.stats.Aborted++
 	op.cells.aborted.Inc()
-	op.tr.Assembly(trace.KindAbort, uint64(itemRoot(item)), trace.NoPage, trace.NoPage, reason)
+	op.tr.AssemblyQ(trace.KindAbort, uint64(itemRoot(item)), trace.NoPage, trace.NoPage, reason, op.qid)
 	return op.discard(item)
 }
 
@@ -1036,7 +1055,7 @@ func (op *Operator) quarantine(item *workItem) error {
 	op.cells.occupancy.Set(int64(op.liveItems))
 	op.stats.Skipped++
 	op.cells.skipped.Inc()
-	op.tr.Assembly(trace.KindQuarantine, uint64(itemRoot(item)), trace.NoPage, trace.NoPage, "")
+	op.tr.AssemblyQ(trace.KindQuarantine, uint64(itemRoot(item)), trace.NoPage, trace.NoPage, "", op.qid)
 	return op.discard(item)
 }
 

@@ -135,7 +135,7 @@ const (
 // from a device fault; it also wraps ErrNoFrames, preserving the
 // congestion signal. A nil ctx behaves exactly like Fix.
 func (p *Pool) FixCtx(ctx context.Context, id disk.PageID) (*Frame, error) {
-	f, err := p.Fix(id)
+	f, err := p.fix(ctx, id)
 	if err == nil || ctx == nil || !errors.Is(err, ErrNoFrames) {
 		return f, err
 	}
@@ -146,7 +146,7 @@ func (p *Pool) FixCtx(ctx context.Context, id disk.PageID) (*Frame, error) {
 			p.pinWaitTimeouts.Inc()
 			return nil, fmt.Errorf("buffer: fix page %d: pool exhausted while waiting (%w): %w", id, ErrNoFrames, werr)
 		}
-		f, err = p.Fix(id)
+		f, err = p.fix(ctx, id)
 		if err == nil || !errors.Is(err, ErrNoFrames) {
 			return f, err
 		}

@@ -13,6 +13,7 @@
 package buffer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"revelation/internal/disk"
 	"revelation/internal/metrics"
 	"revelation/internal/page"
+	"revelation/internal/qtrace"
 	"revelation/internal/trace"
 )
 
@@ -285,10 +287,15 @@ func (p *Pool) SetRetry(rp disk.RetryPolicy) {
 	p.retry = rp
 }
 
-// readLocked reads a page under the retry policy. Caller holds mu.
-func (p *Pool) readLocked(id disk.PageID, buf []byte) error {
-	retries, err := p.retry.Do(func() error { return p.dev.ReadPage(id, buf) })
+// readLocked reads a page under the retry policy, attributing the
+// device read and any absorbed transient retries to the query span in
+// ctx (nil ctx: unattributed). Caller holds mu.
+func (p *Pool) readLocked(ctx context.Context, id disk.PageID, buf []byte) error {
+	retries, err := p.retry.Do(func() error { return disk.ReadPageCtx(ctx, p.dev, id, buf) })
 	p.retries.Add(int64(retries))
+	if retries > 0 {
+		qtrace.From(ctx).OnIORetries(int64(retries))
+	}
 	p.classifyErr(err)
 	return err
 }
@@ -324,11 +331,26 @@ func (p *Pool) PinnedFrames() int { return int(p.pinned.Value()) }
 // and returns the frame. Every successful Fix must be paired with an
 // Unfix.
 func (p *Pool) Fix(id disk.PageID) (*Frame, error) {
+	return p.fix(nil, id)
+}
+
+// FixAs is Fix with per-query attribution: the hit or miss (and the
+// device read behind a miss) is charged to the query span carried in
+// ctx, and the buffer trace events are stamped with its query ID.
+// Unlike FixCtx it never waits — frame exhaustion still returns
+// ErrNoFrames immediately, so congestion handling upstream (shedding,
+// window shrinking) is unchanged. A nil ctx behaves exactly like Fix.
+func (p *Pool) FixAs(ctx context.Context, id disk.PageID) (*Frame, error) {
+	return p.fix(ctx, id)
+}
+
+func (p *Pool) fix(ctx context.Context, id disk.PageID) (*Frame, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return nil, ErrPoolClosed
 	}
+	sp := qtrace.From(ctx)
 	p.tick++
 	var start time.Time
 	if p.tr != nil {
@@ -342,9 +364,10 @@ func (p *Pool) Fix(id disk.PageID) (*Frame, error) {
 		f.hot = true
 		f.stamp = p.tick
 		p.hits.Inc()
+		sp.OnHit()
 		p.notePins()
 		if p.tr != nil {
-			p.tr.Buffer(trace.KindHit, int64(id), 0)
+			p.tr.BufferQ(trace.KindHit, int64(id), 0, sp.QID())
 			p.tr.Observe("buffer/hit", time.Since(start))
 		}
 		return f, nil
@@ -353,7 +376,7 @@ func (p *Pool) Fix(id disk.PageID) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := p.readLocked(id, f.data); err != nil {
+	if err := p.readLocked(ctx, id, f.data); err != nil {
 		// Leave the frame free for the next caller.
 		f.id = disk.InvalidPage
 		return nil, err
@@ -378,9 +401,10 @@ func (p *Pool) Fix(id disk.PageID) (*Frame, error) {
 	f.stamp = p.tick
 	p.table[id] = f
 	p.faults.Inc()
+	sp.OnMiss()
 	p.notePins()
 	if p.tr != nil {
-		p.tr.Buffer(trace.KindMiss, int64(id), 0)
+		p.tr.BufferQ(trace.KindMiss, int64(id), 0, sp.QID())
 		p.tr.Observe("buffer/miss", time.Since(start))
 	}
 	return f, nil

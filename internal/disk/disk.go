@@ -11,12 +11,14 @@
 package disk
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"revelation/internal/metrics"
+	"revelation/internal/qtrace"
 	"revelation/internal/trace"
 )
 
@@ -189,6 +191,16 @@ func (d *Sim) RegisterMetrics(r *metrics.Registry, dev string) {
 
 // ReadPage implements Device.
 func (d *Sim) ReadPage(p PageID, buf []byte) error {
+	return d.readPage(p, buf, nil)
+}
+
+// ReadPageCtx implements CtxReader: the read is additionally charged
+// to the query span in ctx (nil span: identical to ReadPage).
+func (d *Sim) ReadPageCtx(ctx context.Context, p PageID, buf []byte) error {
+	return d.readPage(p, buf, spanFrom(ctx))
+}
+
+func (d *Sim) readPage(p PageID, buf []byte, sp *qtrace.Span) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -210,13 +222,15 @@ func (d *Sim) ReadPage(p PageID, buf []byte) error {
 		prev := d.head
 		dist := d.seekTo(p, true)
 		d.cells.reads.Inc()
+		sp.OnRead(dist)
 		copy(buf, d.pages[p])
-		d.tr.Disk(trace.KindRead, int64(p), int64(prev), dist)
+		d.tr.DiskQ(trace.KindRead, int64(p), int64(prev), dist, sp.QID())
 		d.tr.Observe("disk/read", time.Since(start))
 		return nil
 	}
-	d.seekTo(p, true)
+	dist := d.seekTo(p, true)
 	d.cells.reads.Inc()
+	sp.OnRead(dist)
 	copy(buf, d.pages[p])
 	return nil
 }

@@ -1,11 +1,13 @@
 package disk
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"revelation/internal/metrics"
+	"revelation/internal/qtrace"
 	"revelation/internal/trace"
 )
 
@@ -233,6 +235,12 @@ func (f *Faulty) LatencySpiky(p PageID) bool {
 
 // inject decides the fate of one access before it reaches the device.
 func (f *Faulty) inject(p PageID, write bool) error {
+	return f.injectAs(p, write, nil)
+}
+
+// injectAs is inject with per-query attribution: injected faults are
+// charged to sp and stamp their trace events with its query ID.
+func (f *Faulty) injectAs(p PageID, write bool, sp *qtrace.Span) error {
 	f.mu.Lock()
 	if write && !f.cfg.Writes {
 		f.mu.Unlock()
@@ -272,7 +280,8 @@ func (f *Faulty) inject(p PageID, write bool) error {
 	tr := f.tr
 	f.mu.Unlock()
 	if class != "" {
-		tr.DiskFault(int64(p), class)
+		sp.OnFault()
+		tr.DiskFaultQ(int64(p), class, sp.QID())
 	}
 	// Sleep outside the lock so a latency spike on one page does not
 	// stall concurrent accesses to others.
@@ -291,6 +300,18 @@ func (f *Faulty) ReadPage(p PageID, buf []byte) error {
 		return err
 	}
 	return f.dev.ReadPage(p, buf)
+}
+
+// ReadPageCtx implements CtxReader: injected faults and the wrapped
+// device's read are both charged to the query span in ctx.
+func (f *Faulty) ReadPageCtx(ctx context.Context, p PageID, buf []byte) error {
+	if c := f.crashPoint(); c != nil && c.dead() {
+		return fmt.Errorf("%w: read page %d", ErrCrashed, p)
+	}
+	if err := f.injectAs(p, false, spanFrom(ctx)); err != nil {
+		return err
+	}
+	return ReadPageCtx(ctx, f.dev, p, buf)
 }
 
 // WritePage implements Device.

@@ -1,12 +1,14 @@
 package disk
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
 	"time"
 
 	"revelation/internal/metrics"
+	"revelation/internal/qtrace"
 	"revelation/internal/trace"
 )
 
@@ -78,6 +80,16 @@ func (d *FileDevice) RegisterMetrics(r *metrics.Registry, dev string) {
 
 // ReadPage implements Device.
 func (d *FileDevice) ReadPage(p PageID, buf []byte) error {
+	return d.readPage(p, buf, nil)
+}
+
+// ReadPageCtx implements CtxReader: the read is additionally charged
+// to the query span in ctx (nil span: identical to ReadPage).
+func (d *FileDevice) ReadPageCtx(ctx context.Context, p PageID, buf []byte) error {
+	return d.readPage(p, buf, spanFrom(ctx))
+}
+
+func (d *FileDevice) readPage(p PageID, buf []byte, sp *qtrace.Span) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -97,12 +109,14 @@ func (d *FileDevice) ReadPage(p PageID, buf []byte) error {
 		prev := d.head
 		dist := d.seekTo(p, true)
 		d.cells.reads.Inc()
-		d.tr.Disk(trace.KindRead, int64(p), int64(prev), dist)
+		sp.OnRead(dist)
+		d.tr.DiskQ(trace.KindRead, int64(p), int64(prev), dist, sp.QID())
 		d.tr.Observe("disk/read", time.Since(start))
 		return nil
 	}
-	d.seekTo(p, true)
+	dist := d.seekTo(p, true)
 	d.cells.reads.Inc()
+	sp.OnRead(dist)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package disk
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -95,6 +96,24 @@ func (s *Striped) ReadPage(p PageID, buf []byte) error {
 	s.mu.Unlock()
 	dev, local := s.route(p)
 	return s.devs[dev].ReadPage(local, buf)
+}
+
+// ReadPageCtx implements CtxReader by routing the ctx-aware read to
+// the owning arm.
+func (s *Striped) ReadPageCtx(ctx context.Context, p PageID, buf []byte) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if int(p) >= s.size {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: read page %d of %d", ErrOutOfRange, p, s.size)
+	}
+	s.last = p
+	s.mu.Unlock()
+	dev, local := s.route(p)
+	return ReadPageCtx(ctx, s.devs[dev], local, buf)
 }
 
 // WritePage implements Device.

@@ -10,6 +10,7 @@
 package heap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -146,10 +147,17 @@ func (f *File) Insert(rec []byte) (RID, error) {
 // Get invokes fn with the record bytes while the page is pinned. The
 // slice passed to fn aliases buffer memory and must not be retained.
 func (f *File) Get(rid RID, fn func(rec []byte) error) error {
+	return f.GetCtx(nil, rid, fn)
+}
+
+// GetCtx is Get with per-query attribution: the pool fix (and any
+// device read behind it) is charged to the query span carried in ctx.
+// A nil ctx behaves exactly like Get.
+func (f *File) GetCtx(ctx context.Context, rid RID, fn func(rec []byte) error) error {
 	if !f.Contains(rid) {
 		return fmt.Errorf("%w: %v", ErrNotInEtent, rid)
 	}
-	fr, err := f.pool.Fix(rid.Page)
+	fr, err := f.pool.FixAs(ctx, rid.Page)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package pagesvc
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"net"
@@ -10,6 +11,7 @@ import (
 
 	"revelation/internal/disk"
 	"revelation/internal/metrics"
+	"revelation/internal/qtrace"
 	"revelation/internal/trace"
 )
 
@@ -91,7 +93,7 @@ type Client struct {
 	pageSize  int
 	head      disk.PageID
 	stats     disk.Stats
-	diskTr    *trace.Tracer // disk-layer events from the local head accounting
+	diskTr    *trace.Tracer   // disk-layer events from the local head accounting
 	latencies []time.Duration // ring of recent read RTTs
 	latNext   int
 	closed    bool
@@ -260,15 +262,23 @@ func (c *Client) nextID() uint64 {
 }
 
 // call performs one request round trip on ep with the client timeout.
-func (c *Client) call(ep *endpoint, op byte, body []byte, page int64) (response, error) {
+// The reqID is allocated by the caller once per logical operation, so a
+// retry or a re-send after reconnect reuses the same id — the wire
+// trace of a flaky run is deterministic, and a late response to an
+// earlier attempt matches the current waiter instead of being dropped.
+// sp, when non-nil, attributes the wire activity to a query span and
+// stamps its query id into the request frame (protocol v2).
+func (c *Client) call(ep *endpoint, op byte, body []byte, page int64, reqID uint64, sp *qtrace.Span) (response, error) {
 	cc, err := c.connect(ep)
 	if err != nil {
 		c.errors_.Inc()
 		return response{}, err
 	}
-	req := request{op: op, dev: c.cfg.Dev, reqID: c.nextID(), body: body}
+	qid := sp.QID()
+	req := request{op: op, dev: c.cfg.Dev, reqID: reqID, qid: qid, body: body}
 	c.sends.Inc()
-	c.cfg.Tracer.Net(trace.KindSend, page, 0, ep.addr)
+	sp.OnNetSend()
+	c.cfg.Tracer.NetQ(trace.KindSend, page, 0, ep.addr, qid)
 	ch, err := cc.start(req)
 	if err != nil {
 		c.errors_.Inc()
@@ -283,17 +293,20 @@ func (c *Client) call(ep *endpoint, op byte, body []byte, page int64) (response,
 			c.errors_.Inc()
 			c.recvs.Inc()
 			err := decodeErr(resp.body)
-			c.cfg.Tracer.Net(trace.KindRecv, page, 1, ep.addr)
+			sp.OnNetRecv()
+			c.cfg.Tracer.NetQ(trace.KindRecv, page, 1, ep.addr, qid)
 			return response{}, err
 		}
 		c.recvs.Inc()
-		c.cfg.Tracer.Net(trace.KindRecv, page, 0, ep.addr)
+		sp.OnNetRecv()
+		c.cfg.Tracer.NetQ(trace.KindRecv, page, 0, ep.addr, qid)
 		return resp, nil
 	case <-timer.C:
 		cc.forget(req.reqID)
 		c.timeouts.Inc()
 		c.errors_.Inc()
-		c.cfg.Tracer.Net(trace.KindRecv, page, 1, ep.addr)
+		sp.OnNetTimeout()
+		c.cfg.Tracer.NetQ(trace.KindTimeout, page, 1, ep.addr, qid)
 		return response{}, netErr("timeout on "+ep.addr, fmt.Errorf("%s after %v", opName(op), c.cfg.Timeout))
 	}
 }
@@ -319,7 +332,7 @@ func opName(op byte) string {
 
 // info fetches device geometry and replication progress from ep.
 func (c *Client) info(ep *endpoint) (pages, pageSize int, appliedLSN uint64, err error) {
-	resp, err := c.call(ep, opInfo, nil, trace.NoPage)
+	resp, err := c.call(ep, opInfo, nil, trace.NoPage, c.nextID(), nil)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -430,8 +443,9 @@ func (c *Client) failover(from *endpoint) bool {
 // readOnce performs one read attempt with straggler hedging: the
 // request goes to the current read target, and if no response arrives
 // within the hedge delay, the same read is raced against a replica —
-// first success wins.
-func (c *Client) readOnce(p disk.PageID, buf []byte) error {
+// first success wins. Both legs carry the same reqID: they are one
+// logical read, and the id identifies it across endpoints and retries.
+func (c *Client) readOnce(p disk.PageID, buf []byte, reqID uint64, sp *qtrace.Span) error {
 	target := c.readTarget()
 	delay := c.hedgeDelay()
 	var body [4]byte
@@ -444,7 +458,7 @@ func (c *Client) readOnce(p disk.PageID, buf []byte) error {
 	primCh := make(chan result, 1)
 	start := time.Now()
 	go func() {
-		resp, err := c.call(target, opRead, body[:], int64(p))
+		resp, err := c.call(target, opRead, body[:], int64(p), reqID, sp)
 		primCh <- result{resp, err}
 	}()
 
@@ -477,10 +491,11 @@ func (c *Client) readOnce(p disk.PageID, buf []byte) error {
 		return finish(<-primCh)
 	}
 	c.hedges.Inc()
-	c.cfg.Tracer.Net(trace.KindHedge, int64(p), 0, hedge.addr)
+	sp.OnHedge()
+	c.cfg.Tracer.NetQ(trace.KindHedge, int64(p), 0, hedge.addr, sp.QID())
 	hedgeCh := make(chan result, 1)
 	go func() {
-		resp, err := c.call(hedge, opRead, body[:], int64(p))
+		resp, err := c.call(hedge, opRead, body[:], int64(p), reqID, sp)
 		hedgeCh <- result{resp, err}
 	}()
 	var firstErr error
@@ -524,12 +539,26 @@ func (c *Client) pickHedge(target *endpoint) *endpoint {
 // retried on transient failures, failing over to a fresh-enough
 // replica when the read target stops answering.
 func (c *Client) ReadPage(p disk.PageID, buf []byte) error {
+	return c.readPage(p, buf, nil)
+}
+
+// ReadPageCtx implements disk.CtxReader: the read is attributed to the
+// query span carried in ctx, and the query id travels in the request
+// frame so the server can attribute its side of the work too.
+func (c *Client) ReadPageCtx(ctx context.Context, p disk.PageID, buf []byte) error {
+	return c.readPage(p, buf, qtrace.From(ctx))
+}
+
+func (c *Client) readPage(p disk.PageID, buf []byte, sp *qtrace.Span) error {
 	if err := c.checkAccess(p, buf); err != nil {
 		return err
 	}
-	c.account(p, true)
+	c.account(p, true, sp)
+	// One reqID for the whole logical read: every retry, reconnect
+	// re-send, and hedge leg below reuses it.
+	reqID := c.nextID()
 	_, err := c.cfg.Retry.Do(func() error {
-		err := c.readOnce(p, buf)
+		err := c.readOnce(p, buf, reqID, sp)
 		if err != nil && disk.Retryable(err) && c.readTarget() == c.primary {
 			// The primary may be down, not just slow: try to move the
 			// read target before the next retry burns its backoff.
@@ -547,12 +576,13 @@ func (c *Client) WritePage(p disk.PageID, buf []byte) error {
 	if err := c.checkAccess(p, buf); err != nil {
 		return err
 	}
-	c.account(p, false)
+	c.account(p, false, nil)
 	body := make([]byte, 4+len(buf))
 	binary.LittleEndian.PutUint32(body, uint32(p))
 	copy(body[4:], buf)
+	reqID := c.nextID()
 	_, err := c.cfg.Retry.Do(func() error {
-		_, err := c.call(c.primary, opWrite, body, int64(p))
+		_, err := c.call(c.primary, opWrite, body, int64(p), reqID, nil)
 		return err
 	})
 	return err
@@ -563,8 +593,9 @@ func (c *Client) Allocate(n int) (disk.PageID, error) {
 	var body [4]byte
 	binary.LittleEndian.PutUint32(body[:], uint32(n))
 	var first disk.PageID
+	reqID := c.nextID()
 	_, err := c.cfg.Retry.Do(func() error {
-		resp, err := c.call(c.primary, opAlloc, body[:], trace.NoPage)
+		resp, err := c.call(c.primary, opAlloc, body[:], trace.NoPage, reqID, nil)
 		if err != nil {
 			return err
 		}
@@ -678,8 +709,9 @@ func (c *Client) SetTracer(t *trace.Tracer) {
 	c.diskTr = t
 }
 
-// account moves the local head to p and books the seek.
-func (c *Client) account(p disk.PageID, read bool) {
+// account moves the local head to p and books the seek, charging reads
+// to sp when a query span rode in.
+func (c *Client) account(p disk.PageID, read bool, sp *qtrace.Span) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	prev := c.head
@@ -691,6 +723,7 @@ func (c *Client) account(p disk.PageID, read bool) {
 	if read {
 		c.stats.Reads++
 		c.stats.SeekReads += dist
+		sp.OnRead(dist)
 	} else {
 		c.stats.Writes++
 	}
@@ -703,7 +736,7 @@ func (c *Client) account(p disk.PageID, read bool) {
 		if read {
 			kind = trace.KindRead
 		}
-		c.diskTr.Disk(kind, int64(p), int64(prev), dist)
+		c.diskTr.DiskQ(kind, int64(p), int64(prev), dist, sp.QID())
 	}
 }
 

@@ -59,6 +59,18 @@ const (
 // reqHdrSize is the fixed request header: [1B op][1B dev][8B reqID].
 const reqHdrSize = 10
 
+// opQIDFlag marks an extended request header (protocol v2): when the
+// high bit of the op byte is set, 8 more bytes of query id follow the
+// base header, attributing the request to a query span on the server.
+// Requests without the flag are the v1 wire format byte for byte, so
+// old clients keep working against new servers and vice versa — a v1
+// server would reject flagged ops as unknown, which the v2 client
+// avoids by flagging only when a query id is actually present.
+const opQIDFlag = byte(0x80)
+
+// reqHdrSizeQ is the extended header: [1B op|flag][1B dev][8B reqID][8B qid].
+const reqHdrSizeQ = reqHdrSize + 8
+
 // respHdrSize is the fixed response header: [1B status][8B reqID].
 const respHdrSize = 9
 
@@ -69,11 +81,13 @@ const maxFrame = 1 << 22
 // ErrBadFrame reports a malformed frame on the wire.
 var ErrBadFrame = errors.New("pagesvc: malformed frame")
 
-// request is a decoded request frame.
+// request is a decoded request frame. qid is the originating query id
+// (0 = unattributed, encoded as a v1 frame).
 type request struct {
 	op    byte
 	dev   byte
 	reqID uint64
+	qid   uint64
 	body  []byte
 }
 
@@ -112,27 +126,48 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// encodeRequest frames a request for the wire.
+// encodeRequest frames a request for the wire: the v1 10-byte header,
+// extended with the query id (and flagged op byte) only when one is
+// set, so unattributed traffic stays wire-identical to v1.
 func encodeRequest(req request) []byte {
-	p := make([]byte, reqHdrSize+len(req.body))
+	hdr := reqHdrSize
+	if req.qid != 0 {
+		hdr = reqHdrSizeQ
+	}
+	p := make([]byte, hdr+len(req.body))
 	p[0] = req.op
 	p[1] = req.dev
 	binary.LittleEndian.PutUint64(p[2:], req.reqID)
-	copy(p[reqHdrSize:], req.body)
+	if req.qid != 0 {
+		p[0] |= opQIDFlag
+		binary.LittleEndian.PutUint64(p[reqHdrSize:], req.qid)
+	}
+	copy(p[hdr:], req.body)
 	return p
 }
 
-// decodeRequest parses a request frame payload.
+// decodeRequest parses a request frame payload, accepting both header
+// versions.
 func decodeRequest(p []byte) (request, error) {
 	if len(p) < reqHdrSize {
 		return request{}, fmt.Errorf("%w: %d-byte request", ErrBadFrame, len(p))
 	}
-	return request{
+	req := request{
 		op:    p[0],
 		dev:   p[1],
 		reqID: binary.LittleEndian.Uint64(p[2:]),
-		body:  p[reqHdrSize:],
-	}, nil
+	}
+	if req.op&opQIDFlag != 0 {
+		if len(p) < reqHdrSizeQ {
+			return request{}, fmt.Errorf("%w: %d-byte extended request", ErrBadFrame, len(p))
+		}
+		req.op &^= opQIDFlag
+		req.qid = binary.LittleEndian.Uint64(p[reqHdrSize:])
+		req.body = p[reqHdrSizeQ:]
+	} else {
+		req.body = p[reqHdrSize:]
+	}
+	return req, nil
 }
 
 // encodeResponse frames a response for the wire.

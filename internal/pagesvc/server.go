@@ -1,6 +1,7 @@
 package pagesvc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 
 	"revelation/internal/disk"
 	"revelation/internal/metrics"
+	"revelation/internal/qtrace"
 	"revelation/internal/wal"
 )
 
@@ -36,6 +38,12 @@ type ServerConfig struct {
 	// Registry, when set, receives the server's connection and request
 	// counters under asm_pagesvc_*.
 	Registry *metrics.Registry
+	// QTrace, when set, collects server-side spans for requests that
+	// arrive with a query id (protocol v2): each such request becomes a
+	// span under a remote trace keyed by the id, so the server's
+	// /tracez shows per-query timelines even though queries begin and
+	// end on the client. Nil disables server-side attribution.
+	QTrace *qtrace.Collector
 }
 
 // Server owns a listener and serves page requests for a fixed set of
@@ -200,6 +208,18 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 }
 
+// reqSpan opens a server-side span for an attributed request, and a
+// context carrying it for the device read underneath. Unattributed
+// requests (qid 0) or a nil collector cost nothing.
+func (s *Server) reqSpan(req request, name string) (*qtrace.Span, context.Context) {
+	if s.cfg.QTrace == nil || req.qid == 0 {
+		return nil, nil
+	}
+	t := s.cfg.QTrace.Remote(req.qid, "remote")
+	sp := t.Root().StartChild(qtrace.LayerNet, name)
+	return sp, qtrace.With(context.Background(), sp)
+}
+
 // handle executes one non-streaming request against its device.
 func (s *Server) handle(req request) response {
 	fail := func(err error) response {
@@ -216,7 +236,10 @@ func (s *Server) handle(req request) response {
 		}
 		p := disk.PageID(binary.LittleEndian.Uint32(req.body))
 		buf := make([]byte, dev.PageSize())
-		if err := dev.ReadPage(p, buf); err != nil {
+		sp, ctx := s.reqSpan(req, "read")
+		err := disk.ReadPageCtx(ctx, dev, p, buf)
+		sp.End()
+		if err != nil {
 			return fail(err)
 		}
 		return response{status: stOK, reqID: req.reqID, body: buf}

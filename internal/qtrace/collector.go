@@ -1,0 +1,231 @@
+package qtrace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"revelation/internal/trace"
+)
+
+// Collector owns query IDs and retains recent traces: a bounded ring
+// of completed traces for /tracez, a bounded slow-query log, and a
+// latency histogram feeding the p50/p90/p99 line. One collector
+// serves one process; the pagesvc server keeps a second collector for
+// remote (wire-propagated) traces.
+type Collector struct {
+	nextQID uint64 // atomic
+
+	mu     sync.Mutex
+	ring   []*Trace // completed traces, oldest first once full
+	pos    int
+	full   bool
+	active map[uint64]*Trace
+	order  []uint64 // active insertion order, for remote-trace eviction
+	slow   []*Trace // completed traces over the threshold, oldest first
+	lat    trace.Hist
+
+	slowThreshold time.Duration
+	slowLogf      func(format string, args ...any)
+}
+
+// Ring and slow-log bounds.
+const (
+	defaultRing = 64
+	slowLogCap  = 32
+	// remoteActiveCap bounds the server-side active map: the server
+	// never learns a remote query finished, so past the cap the oldest
+	// remote trace is retired into the completed ring.
+	remoteActiveCap = 256
+)
+
+// NewCollector builds a collector retaining up to ringCap completed
+// traces (<=0 means the default of 64).
+func NewCollector(ringCap int) *Collector {
+	if ringCap <= 0 {
+		ringCap = defaultRing
+	}
+	return &Collector{
+		ring:   make([]*Trace, ringCap),
+		active: map[uint64]*Trace{},
+	}
+}
+
+// SetSlowThreshold makes completed traces at or above d land in the
+// slow-query log and, when logf is non-nil, emit one log line each.
+// Zero disables the log.
+func (c *Collector) SetSlowThreshold(d time.Duration, logf func(format string, args ...any)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.slowThreshold = d
+	c.slowLogf = logf
+	c.mu.Unlock()
+}
+
+// Begin assigns the next query ID, opens a trace rooted at name, and
+// registers it active. The caller installs the returned root span in
+// its context with With and must call Finish when the query ends. A
+// nil collector returns (nil, nil).
+func (c *Collector) Begin(name string) (*Trace, *Span) {
+	if c == nil {
+		return nil, nil
+	}
+	qid := atomic.AddUint64(&c.nextQID, 1)
+	t := newTrace(qid, name, false)
+	c.mu.Lock()
+	c.active[qid] = t
+	c.order = append(c.order, qid)
+	c.mu.Unlock()
+	return t, t.Root()
+}
+
+// Finish closes t with the given status ("ok", "error", "timeout",
+// "canceled", "shed"), moves it from the active set into the completed
+// ring, records its latency, and appends it to the slow-query log when
+// it crossed the threshold. Nil collector or trace is a no-op.
+func (c *Collector) Finish(t *Trace, status string, err error) {
+	if c == nil || t == nil {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	t.finish(status, msg)
+	d := t.Duration()
+	c.mu.Lock()
+	delete(c.active, t.QID)
+	for i, q := range c.order {
+		if q == t.QID {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.retireLocked(t)
+	c.lat.Add(int64(d))
+	slow := c.slowThreshold > 0 && d >= c.slowThreshold
+	logf := c.slowLogf
+	c.mu.Unlock()
+	if slow && logf != nil {
+		logf("slow query qid=%d %s status=%s dur=%s critical-path=%s",
+			t.QID, t.Name, status, d, Dominant(t))
+	}
+}
+
+// retireLocked appends t to the completed ring (and slow log) under mu.
+func (c *Collector) retireLocked(t *Trace) {
+	c.ring[c.pos] = t
+	c.pos++
+	if c.pos == len(c.ring) {
+		c.pos = 0
+		c.full = true
+	}
+	if c.slowThreshold > 0 && t.Duration() >= c.slowThreshold {
+		c.slow = append(c.slow, t)
+		if len(c.slow) > slowLogCap {
+			c.slow = c.slow[len(c.slow)-slowLogCap:]
+		}
+	}
+}
+
+// Remote returns the active trace for a wire-propagated query ID,
+// creating it (with its root span) on first sight. The server charges
+// per-request spans under the returned trace's root so client- and
+// server-side work share one QID. Past remoteActiveCap the oldest
+// remote trace retires into the completed ring.
+func (c *Collector) Remote(qid uint64, name string) *Trace {
+	if c == nil || qid == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t := c.active[qid]; t != nil {
+		return t
+	}
+	t := newTrace(qid, name, true)
+	c.active[qid] = t
+	c.order = append(c.order, qid)
+	if len(c.order) > remoteActiveCap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		if old := c.active[oldest]; old != nil {
+			delete(c.active, oldest)
+			old.finish("retired", "")
+			c.retireLocked(old)
+		}
+	}
+	return t
+}
+
+// Completed returns the completed ring, oldest first.
+func (c *Collector) Completed() []*Trace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*Trace
+	if c.full {
+		out = append(out, c.ring[c.pos:]...)
+	}
+	out = append(out, c.ring[:c.pos]...)
+	return out
+}
+
+// Active returns the in-flight traces in start order.
+func (c *Collector) Active() []*Trace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Trace, 0, len(c.order))
+	for _, qid := range c.order {
+		if t := c.active[qid]; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Slow returns the slow-query log, oldest first.
+func (c *Collector) Slow() []*Trace {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Trace, len(c.slow))
+	copy(out, c.slow)
+	return out
+}
+
+// Latency snapshots the completed-query latency histogram
+// (nanosecond samples).
+func (c *Collector) Latency() trace.Hist {
+	if c == nil {
+		return trace.Hist{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lat
+}
+
+// TotalAll sums per-span counters across every trace the collector
+// has seen (active + completed + slow-evicted are disjoint: slow log
+// entries are also in the ring, so the ring and active set cover all).
+// This is the per-query side of the extended three-way check; callers
+// must size the ring to hold the whole workload when exactness
+// matters.
+func (c *Collector) TotalAll() Counters {
+	var sum Counters
+	for _, t := range c.Completed() {
+		sum.Add(t.Total())
+	}
+	for _, t := range c.Active() {
+		sum.Add(t.Total())
+	}
+	return sum
+}

@@ -1,0 +1,80 @@
+package qtrace
+
+import "sort"
+
+// LayerTime is one layer's share of a trace's wall time, computed from
+// span self-times: a span's self time is its duration minus the summed
+// durations of its direct children (clamped at zero — children may
+// overlap their parent's tail when a query is abandoned mid-flight).
+// Aggregating self time by layer tells which layer *dominated* a slow
+// query: a query stuck on seeks shows disk on top, one stuck behind
+// admission shows serve or assembly.
+type LayerTime struct {
+	Layer  string
+	SelfNS int64
+	Frac   float64 // share of the trace duration, 0..1
+}
+
+// CriticalPath aggregates per-layer self time for t, sorted by
+// descending share. Open spans are measured to the trace's current
+// duration.
+func CriticalPath(t *Trace) []LayerTime {
+	if t == nil {
+		return nil
+	}
+	spans := t.Spans()
+	end := int64(t.Duration())
+	dur := make([]int64, len(spans)+2)   // by span id
+	child := make([]int64, len(spans)+2) // summed child durations by parent id
+	for _, s := range spans {
+		e := s.endNS
+		if e == 0 {
+			e = end
+		}
+		d := e - s.startNS
+		if d < 0 {
+			d = 0
+		}
+		dur[s.id] = d
+		if s.parentID != 0 {
+			child[s.parentID] += d
+		}
+	}
+	self := map[string]int64{}
+	for _, s := range spans {
+		d := dur[s.id] - child[s.id]
+		if d < 0 {
+			d = 0
+		}
+		self[s.layer] += d
+	}
+	out := make([]LayerTime, 0, len(self))
+	total := int64(0)
+	for _, d := range self {
+		total += d
+	}
+	for layer, d := range self {
+		lt := LayerTime{Layer: layer, SelfNS: d}
+		if total > 0 {
+			lt.Frac = float64(d) / float64(total)
+		}
+		out = append(out, lt)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SelfNS != out[j].SelfNS {
+			return out[i].SelfNS > out[j].SelfNS
+		}
+		return out[i].Layer < out[j].Layer
+	})
+	return out
+}
+
+// Dominant names the layer with the largest self time, "" for an
+// empty trace.
+func Dominant(t *Trace) string {
+	cp := CriticalPath(t)
+	if len(cp) == 0 {
+		return ""
+	}
+	return cp[0].Layer
+}

@@ -23,6 +23,7 @@ import (
 	"revelation/internal/assembly"
 	"revelation/internal/buffer"
 	"revelation/internal/metrics"
+	"revelation/internal/qtrace"
 	"revelation/internal/trace"
 )
 
@@ -50,6 +51,12 @@ type Options struct {
 	// QueryTimeout is the default per-request deadline, overridable per
 	// request with ?deadline=500ms. Zero means no default deadline.
 	QueryTimeout time.Duration
+	// QTrace, when non-nil, gives every /query request a query ID and a
+	// span tree: the root span rides the request context through the
+	// plan, completed traces show up on GET /tracez, and the response
+	// carries the ID in an X-Query-Id header. Nil disables per-query
+	// tracing (and /tracez) with zero overhead on the query path.
+	QTrace *qtrace.Collector
 }
 
 // maxSamples bounds the occupancy ring; when full, the oldest half is
@@ -103,6 +110,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", s.opts.Registry.Handler())
 	mux.HandleFunc("/statusz", s.statusz)
+	if s.opts.QTrace != nil {
+		mux.Handle("/tracez", qtrace.Handler(s.opts.QTrace))
+	}
 	if s.opts.Query != nil {
 		mux.HandleFunc("/query", s.query)
 	}
@@ -116,7 +126,7 @@ func (s *Server) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "asmserve: /metrics /statusz /debug/pprof/")
+		fmt.Fprintln(w, "asmserve: /metrics /statusz /tracez /debug/pprof/")
 	})
 	return mux
 }
@@ -199,25 +209,36 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	qt, root := s.opts.QTrace.Begin("/query")
+	if qt != nil {
+		ctx = qtrace.With(ctx, root)
+		w.Header().Set("X-Query-Id", fmt.Sprintf("%d", qt.QID))
+	}
 	summary, err := s.opts.Query(ctx)
+	status := "ok"
 	switch {
 	case err == nil:
 		s.queriesOK.Inc()
 		fmt.Fprintln(w, summary)
 	case errors.Is(err, context.DeadlineExceeded):
+		status = "timeout"
 		s.queryTimeouts.Inc()
 		http.Error(w, fmt.Sprintf("query deadline exceeded: %v", err), http.StatusGatewayTimeout)
 	case errors.Is(err, context.Canceled):
 		// The client went away; the status code is for the log only.
+		status = "canceled"
 		s.queryCancels.Inc()
 		http.Error(w, fmt.Sprintf("query canceled: %v", err), http.StatusServiceUnavailable)
 	case errors.Is(err, buffer.ErrAdmission), errors.Is(err, assembly.ErrShed):
+		status = "shed"
 		s.queriesShed.Inc()
 		http.Error(w, fmt.Sprintf("query shed: %v", err), http.StatusServiceUnavailable)
 	default:
+		status = "error"
 		s.queryErrors.Inc()
 		http.Error(w, fmt.Sprintf("query failed: %v", err), http.StatusInternalServerError)
 	}
+	s.opts.QTrace.Finish(qt, status, err)
 }
 
 // statusz renders the human-readable snapshot: uptime and info lines,
@@ -236,6 +257,15 @@ func (s *Server) statusz(w http.ResponseWriter, _ *http.Request) {
 	if len(samples) > 0 {
 		fmt.Fprintf(w, "\nwindow occupancy over %d samples, peak %d\n", len(samples), peak)
 		fmt.Fprintf(w, "  [%s]\n", trace.Sparkline(samples, peak, 64))
+	}
+
+	if lat := s.opts.QTrace.Latency(); lat.Count > 0 {
+		fmt.Fprintf(w, "\nquery latency over %d queries: p50 %s p90 %s p99 %s max %s\n",
+			lat.Count,
+			time.Duration(lat.Quantile(0.50)),
+			time.Duration(lat.Quantile(0.90)),
+			time.Duration(lat.Quantile(0.99)),
+			time.Duration(lat.Max))
 	}
 
 	snap := s.opts.Registry.Snapshot()

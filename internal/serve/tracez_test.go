@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"revelation/internal/leakcheck"
+	"revelation/internal/metrics"
+	"revelation/internal/qtrace"
+)
+
+// tracedServer wires a collector-backed server whose query opens a
+// child span and books some attributable work.
+func tracedServer(t *testing.T, ringCap int) (*httptest.Server, *qtrace.Collector) {
+	t.Helper()
+	qc := qtrace.NewCollector(ringCap)
+	s := New(Options{
+		Registry: metrics.NewRegistry(),
+		QTrace:   qc,
+		Query: func(ctx context.Context) (string, error) {
+			sp, _ := qtrace.Start(ctx, qtrace.LayerAssembly, "work")
+			for i := 0; i < 5; i++ {
+				sp.OnFetch()
+			}
+			sp.OnRead(3)
+			sp.End()
+			return "assembled 5 complex objects", nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, qc
+}
+
+func TestQueryIsTraced(t *testing.T) {
+	ts, qc := tracedServer(t, 8)
+	_, resp := get(t, ts.URL+"/query")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	qid, err := strconv.ParseUint(resp.Header.Get("X-Query-Id"), 10, 64)
+	if err != nil || qid == 0 {
+		t.Fatalf("X-Query-Id header %q: %v", resp.Header.Get("X-Query-Id"), err)
+	}
+	done := qc.Completed()
+	if len(done) != 1 || done[0].QID != qid {
+		t.Fatalf("collector completed %d traces, want the one with qid %d", len(done), qid)
+	}
+	total := done[0].Total()
+	if total.Fetches != 5 || total.Reads != 1 || total.SeekPages != 3 {
+		t.Errorf("trace counters %+v, want 5 fetches, 1 read, 3 seek pages", total)
+	}
+
+	body, resp := get(t, ts.URL+"/tracez")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tracez status %d", resp.StatusCode)
+	}
+	for _, want := range []string{fmt.Sprintf("qid=%d", qid), "/query", "work", "fetches=5"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("tracez missing %q in:\n%s", want, body)
+		}
+	}
+
+	body, _ = get(t, ts.URL+"/statusz")
+	if !strings.Contains(body, "query latency over 1 queries") {
+		t.Errorf("statusz missing the latency quantile line:\n%s", body)
+	}
+}
+
+// TestTracezUnderConcurrentQueries hammers /query, /tracez, and
+// /statusz from concurrent goroutines — the data-race and leak check
+// for the whole tracing read path. Run with -race.
+func TestTracezUnderConcurrentQueries(t *testing.T) {
+	goroutines := leakcheck.Snapshot()
+
+	const workers = 8
+	const perWorker = 20
+	// A ring holding every query keeps TotalAll() the aggregate of the
+	// whole run rather than the retained suffix.
+	ts, qc := tracedServer(t, workers*perWorker)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_, resp := get(t, ts.URL+"/query")
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("query status %d", resp.StatusCode)
+					return
+				}
+				qid, err := strconv.ParseUint(resp.Header.Get("X-Query-Id"), 10, 64)
+				if err != nil || qid == 0 {
+					t.Errorf("bad X-Query-Id %q", resp.Header.Get("X-Query-Id"))
+					return
+				}
+				mu.Lock()
+				if seen[qid] {
+					t.Errorf("qid %d issued twice", qid)
+				}
+				seen[qid] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	// Readers race the queries: they must always get a coherent page,
+	// never a torn trace or a race report.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for _, path := range []string{"/tracez", "/statusz"} {
+		readers.Add(1)
+		go func(path string) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body, resp := get(t, ts.URL+path)
+				if resp.StatusCode != http.StatusOK || body == "" {
+					t.Errorf("%s: status %d, %d bytes", path, resp.StatusCode, len(body))
+					return
+				}
+			}
+		}(path)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := len(seen); got != workers*perWorker {
+		t.Fatalf("issued %d distinct qids, want %d", got, workers*perWorker)
+	}
+	lat := qc.Latency()
+	if lat.Count != workers*perWorker {
+		t.Errorf("latency histogram holds %d samples, want %d", lat.Count, workers*perWorker)
+	}
+	total := qc.TotalAll()
+	if want := int64(workers * perWorker * 5); total.Fetches != want {
+		t.Errorf("aggregate fetches %d, want %d", total.Fetches, want)
+	}
+
+	ts.Close()
+	leakcheck.CheckWithin(t, goroutines, 2*time.Second)
+}

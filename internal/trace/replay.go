@@ -38,6 +38,7 @@ type Replay struct {
 
 	// Network reconstruction (page-service client events).
 	NetSends, NetRecvs, NetErrors int64
+	NetTimeouts                   int64
 	Hedges, Failovers, Reconnects int64
 
 	// Assembly reconstruction.
@@ -164,6 +165,8 @@ func ReplayEvents(events []Event) *Replay {
 				if e.N != 0 {
 					r.NetErrors++
 				}
+			case KindTimeout:
+				r.NetTimeouts++
 			case KindHedge:
 				r.Hedges++
 			case KindFailover:
@@ -199,6 +202,20 @@ func ReplayEvents(events []Event) *Replay {
 		}
 	}
 	return r
+}
+
+// FilterQuery slices an event stream to one query's events: those
+// carrying the given QID. Bench run markers (which are never
+// query-attributed) are dropped, so the result replays as a single
+// unnamed run.
+func FilterQuery(events []Event, qid uint64) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.QID == qid && e.Layer != LayerBench {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // Run is one harness-delimited segment of a trace: the events between a

@@ -70,6 +70,7 @@ const (
 const (
 	KindSend      = "send"      // request sent to a page server: Page, Note (endpoint)
 	KindRecv      = "recv"      // response received: Page, N (0 ok, 1 error), Note (endpoint)
+	KindTimeout   = "timeout"   // request timed out with no response: Page, Note (endpoint)
 	KindHedge     = "hedge"     // straggler read hedged to a replica: Page, Note (endpoint)
 	KindFailover  = "failover"  // read routing switched off the primary: Note (new endpoint)
 	KindReconnect = "reconnect" // endpoint connection re-established: Note (endpoint)
@@ -149,6 +150,11 @@ type Event struct {
 	Note string `json:"note,omitempty"`
 	// Stats is attached to bench end markers only.
 	Stats *RunStats `json:"stats,omitempty"`
+	// QID attributes the event to a query (see internal/qtrace); zero —
+	// omitted from the JSON — for work outside any query. The field
+	// sits last so query-less streams stay byte-identical to pre-QID
+	// traces.
+	QID uint64 `json:"qid,omitempty"`
 }
 
 func (e Event) String() string {
@@ -210,28 +216,43 @@ func (t *Tracer) emit(e Event) {
 // Disk records a physical access: kind is KindRead or KindWrite, head
 // is the position before the access.
 func (t *Tracer) Disk(kind string, page, head, dist int64) {
+	t.DiskQ(kind, page, head, dist, 0)
+}
+
+// DiskQ is Disk with a query attribution (qid 0 means unattributed).
+func (t *Tracer) DiskQ(kind string, page, head, dist int64, qid uint64) {
 	if t == nil {
 		return
 	}
-	t.emit(Event{Layer: LayerDisk, Kind: kind, Page: page, Head: head, Dist: dist})
+	t.emit(Event{Layer: LayerDisk, Kind: kind, Page: page, Head: head, Dist: dist, QID: qid})
 }
 
 // DiskFault records an injected I/O fault; class is "transient" or
 // "permanent".
 func (t *Tracer) DiskFault(page int64, class string) {
+	t.DiskFaultQ(page, class, 0)
+}
+
+// DiskFaultQ is DiskFault with a query attribution.
+func (t *Tracer) DiskFaultQ(page int64, class string, qid uint64) {
 	if t == nil {
 		return
 	}
-	t.emit(Event{Layer: LayerDisk, Kind: KindFault, Page: page, Head: NoPage, Dist: NoPage, Note: class})
+	t.emit(Event{Layer: LayerDisk, Kind: KindFault, Page: page, Head: NoPage, Dist: NoPage, Note: class, QID: qid})
 }
 
 // Buffer records a pool event (hit/miss/evict/flush/unfix); n carries
 // the event-specific flag (dirty bit on unfix).
 func (t *Tracer) Buffer(kind string, page int64, n int64) {
+	t.BufferQ(kind, page, n, 0)
+}
+
+// BufferQ is Buffer with a query attribution.
+func (t *Tracer) BufferQ(kind string, page int64, n int64, qid uint64) {
 	if t == nil {
 		return
 	}
-	t.emit(Event{Layer: LayerBuffer, Kind: kind, Page: page, Head: NoPage, Dist: NoPage, N: n})
+	t.emit(Event{Layer: LayerBuffer, Kind: kind, Page: page, Head: NoPage, Dist: NoPage, N: n, QID: qid})
 }
 
 // ChecksumFail records a page that failed checksum verification on its
@@ -267,19 +288,29 @@ func (t *Tracer) Redo(page int64, lsn uint64) {
 // received (n carries 0 for success, 1 for error), a hedged read, a
 // failover, or a reconnect. The endpoint travels in the note.
 func (t *Tracer) Net(kind string, page int64, n int64, endpoint string) {
+	t.NetQ(kind, page, n, endpoint, 0)
+}
+
+// NetQ is Net with a query attribution.
+func (t *Tracer) NetQ(kind string, page int64, n int64, endpoint string, qid uint64) {
 	if t == nil {
 		return
 	}
-	t.emit(Event{Layer: LayerNet, Kind: kind, Page: page, Head: NoPage, Dist: NoPage, N: n, Note: endpoint})
+	t.emit(Event{Layer: LayerNet, Kind: kind, Page: page, Head: NoPage, Dist: NoPage, N: n, Note: endpoint, QID: qid})
 }
 
 // Assembly records an operator event. page and head are NoPage when the
 // event has no physical address (emit, abort, stall).
 func (t *Tracer) Assembly(kind string, oid uint64, page, head int64, note string) {
+	t.AssemblyQ(kind, oid, page, head, note, 0)
+}
+
+// AssemblyQ is Assembly with a query attribution.
+func (t *Tracer) AssemblyQ(kind string, oid uint64, page, head int64, note string, qid uint64) {
 	if t == nil {
 		return
 	}
-	t.emit(Event{Layer: LayerAssembly, Kind: kind, Page: page, Head: head, Dist: NoPage, OID: oid, Note: note})
+	t.emit(Event{Layer: LayerAssembly, Kind: kind, Page: page, Head: head, Dist: NoPage, OID: oid, Note: note, QID: qid})
 }
 
 // BeginRun marks the start of a named experiment run; window is the

@@ -3,6 +3,8 @@ package volcano
 import (
 	"context"
 	"errors"
+
+	"revelation/internal/qtrace"
 )
 
 // ContextBinder is implemented by operators that observe a query
@@ -45,6 +47,17 @@ func bindTree(ctx context.Context, it Iterator) {
 			bindTree(ctx, in)
 		}
 	}
+}
+
+// DrainCtx is the traced query entry point: it opens a plan-level span
+// (layer "plan") covering open → drain → close, binds the span-carrying
+// context to every operator of the plan, and pulls all items. With no
+// span in ctx it degrades to Bind + Drain with zero overhead.
+func DrainCtx(ctx context.Context, it Iterator) ([]Item, error) {
+	sp, ctx := qtrace.Start(ctx, qtrace.LayerPlan, "drain")
+	defer sp.End()
+	Bind(ctx, it)
+	return Drain(it)
 }
 
 // IsLifecycleErr reports whether err terminated a query for lifecycle

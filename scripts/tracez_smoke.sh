@@ -1,0 +1,74 @@
+#!/bin/sh
+# End-to-end smoke test for per-query tracing: boot asmserve, run a few
+# /query requests, and check that /tracez shows their traces (with
+# critical-path attribution and per-span counters) and that /statusz
+# carries the latency quantile line. Exercises the whole span pipeline
+# — serve -> volcano -> assembly -> buffer -> disk — the way an
+# operator would see it.
+#
+# Usage: scripts/tracez_smoke.sh [port]   (default 18091)
+set -eu
+
+PORT="${1:-18091}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "tracez-smoke: FAIL: $*" >&2
+    exit 1
+}
+
+echo "tracez-smoke: building asmserve"
+go build -o "$WORK/asmserve" ./cmd/asmserve
+
+# -once keeps the background workload from competing with the probe
+# queries; -slow-query 1ns forces every query into the slow log so the
+# smoke test covers that path too.
+"$WORK/asmserve" -addr "127.0.0.1:$PORT" -once -scale 0.1 -slow-query 1ns \
+    >"$WORK/server.log" 2>&1 &
+SRV_PID=$!
+
+up=""
+for _ in $(seq 1 100); do
+    if curl -fs "$BASE/statusz" >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    kill -0 "$SRV_PID" 2>/dev/null || { cat "$WORK/server.log" >&2; fail "server exited early"; }
+    sleep 0.1
+done
+[ -n "$up" ] || fail "server never came up on $BASE"
+
+echo "tracez-smoke: running queries"
+QID=""
+for i in 1 2 3; do
+    QID="$(curl -fs -o /dev/null -D - "$BASE/query" | tr -d '\r' |
+        awk -F': ' 'tolower($1) == "x-query-id" {print $2}')"
+    [ -n "$QID" ] || fail "query $i returned no X-Query-Id header"
+done
+
+TRACEZ="$(curl -fs "$BASE/tracez")" || fail "GET /tracez failed"
+echo "$TRACEZ" | grep -q "qid=$QID" || fail "/tracez is missing the last query (qid=$QID):
+$TRACEZ"
+echo "$TRACEZ" | grep -q "critical-path" || fail "/tracez has no critical-path attribution:
+$TRACEZ"
+echo "$TRACEZ" | grep -q "slow queries" || fail "/tracez has no slow-query log despite -slow-query 1ns:
+$TRACEZ"
+echo "$TRACEZ" | grep -Eq "latency: n=[0-9]+ p50<=" || fail "/tracez has no latency quantiles:
+$TRACEZ"
+echo "$TRACEZ" | grep -q "fetches=" || fail "/tracez spans carry no assembly counters:
+$TRACEZ"
+
+STATUSZ="$(curl -fs "$BASE/statusz")" || fail "GET /statusz failed"
+echo "$STATUSZ" | grep -q "query latency over" || fail "/statusz is missing the latency line:
+$STATUSZ"
+
+grep -q "slow query qid=" "$WORK/server.log" || fail "no slow-query line reached the server log"
+
+echo "tracez-smoke: PASS (last qid=$QID)"
