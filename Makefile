@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race race-core chaos-test net-chaos-test crash-test fuzz-smoke bench figures suite suite-smoke trace-demo tracez-smoke serve-demo examples cover clean
+.PHONY: all check build vet test test-race race-core chaos-test net-chaos-test shard-chaos-test crash-test fuzz-smoke bench figures suite suite-smoke trace-demo tracez-smoke serve-demo examples cover clean
 
 all: check
 
@@ -39,6 +39,15 @@ chaos-test:
 # -count=2 reruns them so cross-run state leaks surface too.
 net-chaos-test:
 	$(GO) test -race -count=2 ./internal/pagesvc
+
+# The sharded-fleet chaos suite under the race detector: kill one
+# shard's primary mid-query and finish byte-identical via its replica
+# (breaker trip + LSN-guarded failover), and brown out a shard with no
+# replica to check degraded-mode assembly skips exactly the poisoned
+# objects under a per-query retry budget. -count=2 reruns for cross-run
+# state leaks.
+shard-chaos-test:
+	$(GO) test -race -count=2 ./internal/shard
 
 # The exhaustive crash-point sweep at a heavier workload than the
 # tier-1 default: every write ordinal is crashed twice (clean and

@@ -26,6 +26,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"time"
 
 	"revelation/internal/disk"
 	"revelation/internal/metrics"
@@ -41,6 +44,8 @@ func main() {
 	follow := flag.String("follow", "", "primary address to follow as a read replica")
 	pageSize := flag.Int("page-size", disk.DefaultPageSize, "device page size in bytes")
 	metricsAddr := flag.String("metrics", "", "optional address serving /metrics (e.g. :9090)")
+	brownout := flag.String("brownout", "", "arm a seeded brownout episode on the data device: start,len,ramp,stall (access ordinals and a stall duration, e.g. 200,400,100,2ms) — for exercising client breakers and failover")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the brownout injector's deterministic decisions")
 	flag.Parse()
 
 	if *follow != "" && *walPath != "" {
@@ -53,9 +58,25 @@ func main() {
 		fail("%v", err)
 	}
 	defer data.Close()
-	data.RegisterMetrics(reg, "data")
 
-	devs := []disk.Device{data}
+	serveData := disk.Device(data)
+	if *brownout != "" {
+		cfg, err := brownoutConfig(*brownout, *faultSeed)
+		if err != nil {
+			fail("%v", err)
+		}
+		faulty := disk.NewFaulty(data, cfg)
+		// Registers the injection counters and forwards to the wrapped
+		// file device, so "data" carries the whole stack.
+		faulty.RegisterMetrics(reg, "data")
+		serveData = faulty
+		fmt.Printf("asmpaged: brownout armed: accesses [%d, %d), ramp %d, stall %v\n",
+			cfg.BrownoutStart, cfg.BrownoutStart+cfg.BrownoutLen, cfg.BrownoutRamp, cfg.BrownoutStall)
+	} else {
+		data.RegisterMetrics(reg, "data")
+	}
+
+	devs := []disk.Device{serveData}
 	// Requests arriving with a query id (protocol v2) build server-side
 	// traces; the -metrics mux exposes them on /tracez.
 	qt := qtrace.NewCollector(0)
@@ -111,6 +132,39 @@ func main() {
 	signal.Notify(stop, os.Interrupt)
 	<-stop
 	fmt.Println("asmpaged: shutting down")
+}
+
+// brownoutConfig parses the -brownout spec "start,len,ramp,stall" into
+// a fault configuration. The episode runs on the device's access clock
+// (not wall time), so a client driving a steady read load sees the
+// outage at a predictable point in its request stream.
+func brownoutConfig(spec string, seed int64) (disk.FaultConfig, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 4 {
+		return disk.FaultConfig{}, fmt.Errorf("bad -brownout %q: want start,len,ramp,stall (e.g. 200,400,100,2ms)", spec)
+	}
+	var nums [3]int64
+	for i := 0; i < 3; i++ {
+		v, err := strconv.ParseInt(strings.TrimSpace(parts[i]), 10, 64)
+		if err != nil || v < 0 {
+			return disk.FaultConfig{}, fmt.Errorf("bad -brownout field %q: want a non-negative access count", parts[i])
+		}
+		nums[i] = v
+	}
+	stall, err := time.ParseDuration(strings.TrimSpace(parts[3]))
+	if err != nil || stall < 0 {
+		return disk.FaultConfig{}, fmt.Errorf("bad -brownout stall %q: want a non-negative Go duration like 2ms", parts[3])
+	}
+	if nums[1] <= 0 {
+		return disk.FaultConfig{}, fmt.Errorf("bad -brownout %q: len must be positive", spec)
+	}
+	return disk.FaultConfig{
+		Seed:          seed,
+		BrownoutStart: nums[0],
+		BrownoutLen:   nums[1],
+		BrownoutRamp:  nums[2],
+		BrownoutStall: stall,
+	}, nil
 }
 
 // maxPageLSN scans the device for the highest stamped page LSN — the

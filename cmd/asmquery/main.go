@@ -24,6 +24,7 @@ import (
 	"revelation/internal/gen"
 	"revelation/internal/pagesvc"
 	"revelation/internal/query"
+	"revelation/internal/shard"
 	"revelation/internal/volcano"
 )
 
@@ -39,13 +40,21 @@ func main() {
 	explain := flag.Bool("explain", true, "print the revealed plan")
 	deadline := flag.Duration("deadline", 0, "abort the revealed query after this long (0 = unbounded)")
 	pages := flag.String("pages", "", "comma-separated page-service endpoints, primary first (see cmd/asmpaged); replaces -db with networked pages, extra endpoints are hedge/failover replicas")
+	shards := flag.String("shards", "", "comma-separated page-service endpoints, one per shard (see cmd/asmpaged); replaces -db with a sharded fleet behind the rendezvous router and assembles with the per-shard elevator")
 	flag.Parse()
 
+	if *pages != "" && *shards != "" {
+		fail("-pages and -shards are mutually exclusive: one service with replicas, or a fleet of shards")
+	}
 	var db *gen.Database
+	var router *shard.Router
 	var err error
-	if *pages != "" {
+	switch {
+	case *shards != "":
+		db, router, err = openSharded(*shards, *manifest, *bufferPages)
+	case *pages != "":
 		db, err = openNetworked(*pages, *manifest, *bufferPages)
-	} else {
+	default:
 		db, err = gen.OpenDatabase(*dbPath, *manifest, *bufferPages)
 	}
 	if err != nil {
@@ -77,6 +86,12 @@ func main() {
 	}
 	opts := assembly.Options{Window: *window, Scheduler: assembly.Elevator,
 		UseSharingStats: db.Config.Sharing > 0}
+	if router != nil {
+		// Pending references partition by the router's assignment; each
+		// shard lane keeps its own SCAN order with one read in flight.
+		opts.CustomScheduler = assembly.NewShardElevator(router.Shards(), router.ShardOf)
+		opts.ShardPrefetch = true
+	}
 
 	fmt.Printf("query: %s.rand < %d over %d complex objects (%v clustering)\n",
 		*node, *lt, len(db.Roots), db.Config.Clustering)
@@ -142,6 +157,41 @@ func main() {
 	if naiveN >= 0 && revN >= 0 && naiveN != revN {
 		fail("plans disagree: naive %d, revealed %d", naiveN, revN)
 	}
+}
+
+// openSharded opens the database over a fleet of page services behind
+// the rendezvous router: every page access routes to the shard that
+// owns the page, and the assembly above partitions its pending reads
+// into per-shard elevator lanes.
+func openSharded(endpoints, manifestPath string, bufferPages int) (*gen.Database, *shard.Router, error) {
+	mp, err := gen.LoadManifest(manifestPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	eps := strings.Split(endpoints, ",")
+	members := make([]shard.Member, len(eps))
+	for i, ep := range eps {
+		client, err := pagesvc.Dial(pagesvc.ClientConfig{
+			Primary: ep,
+			Dev:     pagesvc.DataDev,
+			Retry:   disk.DefaultRetryPolicy,
+			Label:   fmt.Sprintf("net-s%d", i),
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard %d (%s): %w", i, ep, err)
+		}
+		members[i] = shard.Member{Name: fmt.Sprintf("s%d", i), Primary: client}
+	}
+	router, err := shard.New(shard.Config{Members: members})
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := gen.OpenDatabaseOn(router, mp, bufferPages)
+	if err != nil {
+		router.Close()
+		return nil, nil, err
+	}
+	return db, router, nil
 }
 
 // openNetworked opens the database over a page service instead of a

@@ -59,6 +59,7 @@ import (
 	"revelation/internal/qtrace"
 	"revelation/internal/query"
 	"revelation/internal/serve"
+	"revelation/internal/shard"
 	"revelation/internal/volcano"
 )
 
@@ -72,6 +73,8 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 5*time.Second, "default /query deadline (?deadline= overrides)")
 	queryWindow := flag.Int("query-window", 10, "assembly window for /query requests")
 	pages := flag.String("pages", "", "comma-separated page-service endpoints, primary first (see cmd/asmpaged); /query pages are restored to and read from the service instead of local memory")
+	shards := flag.String("shards", "", "comma-separated page-service endpoints, one per shard (see cmd/asmpaged); /query pages are spread over the fleet by the rendezvous router and assembled with the per-shard elevator")
+	retryBudget := flag.Int("retry-budget", 64, "max I/O retries one /query may spend across all shards combined; 0 disables the budget")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "queries at least this slow land in the /tracez slow-query log and log one line; 0 disables")
 	flag.Parse()
 
@@ -88,7 +91,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
 		os.Exit(2)
 	}
-	queryFn, err := queryWorkload(reg, *scale, *queryWindow, *pages)
+	if *pages != "" && *shards != "" {
+		fmt.Fprintln(os.Stderr, "asmserve: -pages and -shards are mutually exclusive: one service with replicas, or a fleet of shards")
+		os.Exit(2)
+	}
+	queryFn, err := queryWorkload(reg, *scale, *queryWindow, *pages, *shards)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
 		os.Exit(2)
@@ -109,6 +116,7 @@ func main() {
 		MaxConcurrent: *maxConcurrent,
 		QueryTimeout:  *queryTimeout,
 		QTrace:        qt,
+		RetryBudget:   *retryBudget,
 	})
 	srv.Start()
 	defer srv.Stop()
@@ -156,7 +164,7 @@ func main() {
 // and the pool serializes frame traffic, so concurrent requests are
 // safe — the interesting contention (frames) is what reservations and
 // bounded pin waits manage.
-func queryWorkload(reg *metrics.Registry, scale float64, window int, pages string) (func(ctx context.Context) (string, error), error) {
+func queryWorkload(reg *metrics.Registry, scale float64, window int, pages, shards string) (func(ctx context.Context) (string, error), error) {
 	size := int(1000 * scale)
 	if size < 100 {
 		size = 100
@@ -170,7 +178,17 @@ func queryWorkload(reg *metrics.Registry, scale float64, window int, pages strin
 	if err != nil {
 		return nil, err
 	}
-	if pages != "" {
+	var router *shard.Router
+	switch {
+	case shards != "":
+		// Spread the generated pages over the fleet by rendezvous
+		// assignment, then reopen the database behind the router: every
+		// /query from here on reads sharded pages, with breakers and the
+		// per-query retry budget governing brown-outs.
+		if db, router, err = pushToShards(reg, db, shards); err != nil {
+			return nil, err
+		}
+	case pages != "":
 		// Restore the generated pages onto the page service through its
 		// write path, then reopen the database over the network: every
 		// /query from here on reads remote pages, hedging and failing
@@ -196,6 +214,10 @@ func queryWorkload(reg *metrics.Registry, scale float64, window int, pages strin
 			Window:        window,
 			Scheduler:     assembly.Elevator,
 			ReserveFrames: reserve,
+		}
+		if router != nil {
+			opts.CustomScheduler = assembly.NewShardElevator(router.Shards(), router.ShardOf)
+			opts.ShardPrefetch = true
 		}
 		sp, ctx := qtrace.Start(ctx, qtrace.LayerPlan, "reveal")
 		plan, err := query.Reveal(db.Store, q, opts)
@@ -259,6 +281,74 @@ func pushToService(reg *metrics.Registry, db *gen.Database, endpoints string) (*
 		return nil, err
 	}
 	return gen.OpenDatabaseOn(client, mp, 256)
+}
+
+// pushToShards rendezvous-spreads db's pages over a fleet of page
+// services and reopens the database behind the shard router: the
+// extent is allocated on every member (so page ids line up), but each
+// page is written only to the shard that owns it, and the router never
+// reads a page anywhere else.
+func pushToShards(reg *metrics.Registry, db *gen.Database, endpoints string) (*gen.Database, *shard.Router, error) {
+	if err := db.Pool.FlushAll(); err != nil {
+		return nil, nil, err
+	}
+	eps := strings.Split(endpoints, ",")
+	members := make([]shard.Member, len(eps))
+	for i, ep := range eps {
+		client, err := pagesvc.Dial(pagesvc.ClientConfig{
+			Primary:  ep,
+			Dev:      pagesvc.DataDev,
+			Retry:    disk.DefaultRetryPolicy,
+			Registry: reg,
+			Label:    fmt.Sprintf("net-s%d", i),
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard %d (%s): %w", i, ep, err)
+		}
+		members[i] = shard.Member{Name: fmt.Sprintf("s%d", i), Primary: client}
+	}
+	router, err := shard.New(shard.Config{Members: members, Registry: reg})
+	if err != nil {
+		return nil, nil, err
+	}
+	if db.Device.PageSize() != router.PageSize() {
+		router.Close()
+		return nil, nil, fmt.Errorf("shard fleet serves %d-byte pages, database has %d", router.PageSize(), db.Device.PageSize())
+	}
+	if n := db.Device.NumPages() - router.NumPages(); n > 0 {
+		if _, err := router.Allocate(n); err != nil {
+			router.Close()
+			return nil, nil, err
+		}
+	}
+	buf := make([]byte, db.Device.PageSize())
+	for p := 0; p < db.Device.NumPages(); p++ {
+		if err := db.Device.ReadPage(disk.PageID(p), buf); err != nil {
+			router.Close()
+			return nil, nil, err
+		}
+		if err := router.WritePage(disk.PageID(p), buf); err != nil {
+			router.Close()
+			return nil, nil, err
+		}
+	}
+	manifest := filepath.Join(os.TempDir(), fmt.Sprintf("asmserve-%d.manifest", os.Getpid()))
+	if err := db.SaveManifest(manifest); err != nil {
+		router.Close()
+		return nil, nil, err
+	}
+	defer os.Remove(manifest)
+	mp, err := gen.LoadManifest(manifest)
+	if err != nil {
+		router.Close()
+		return nil, nil, err
+	}
+	ndb, err := gen.OpenDatabaseOn(router, mp, 256)
+	if err != nil {
+		router.Close()
+		return nil, nil, err
+	}
+	return ndb, router, nil
 }
 
 // workload maps a figure id to a closure running it once.

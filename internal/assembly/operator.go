@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"revelation/internal/buffer"
 	"revelation/internal/disk"
@@ -50,6 +51,15 @@ type Options struct {
 	// "only a single request should be issued to the buffer manager",
 	// worth it because "even buffer hits can be expensive" (footnote 5).
 	PageBatch bool
+	// ShardPrefetch, with a BatchScheduler (e.g. ShardElevator over a
+	// shard.Router), fetches one reference per shard lane concurrently:
+	// the scheduler hands out a batch — one SCAN step per shard — the
+	// operator warms the buffer with one goroutine per lane under a
+	// per-shard qtrace span, and then resolves the batch sequentially
+	// through the unchanged fault paths. Each lane has at most one read
+	// in flight at a time, so per-shard access order (and thus replay
+	// determinism per shard) is preserved.
+	ShardPrefetch bool
 	// FaultPolicy selects how the operator reacts to I/O errors while
 	// fetching referenced components. The default (FailFast) is the
 	// paper's implicit behavior: any error aborts the whole operator.
@@ -184,6 +194,14 @@ type Operator struct {
 	qspan *qtrace.Span
 	qctx  context.Context
 	qid   uint64
+	// batcher is the scheduler's batch interface when ShardPrefetch is
+	// on; batchq holds the tail of the current batch (already
+	// prefetched, resolved one per scheduling step). laneSpans/laneCtxs
+	// attribute each lane's prefetch I/O to a per-shard child span.
+	batcher   BatchScheduler
+	batchq    []*Ref
+	laneSpans []*qtrace.Span
+	laneCtxs  []context.Context
 	// reservation is the frame quota admitted at Open (ReserveFrames).
 	reservation *buffer.Reservation
 }
@@ -271,6 +289,28 @@ func (op *Operator) Open() error {
 	op.stall = 0
 	op.qspan, op.qctx = qtrace.Start(op.ctx, qtrace.LayerAssembly, "assemble")
 	op.qid = op.qspan.QID()
+	op.batcher = nil
+	op.batchq = nil
+	op.laneSpans = nil
+	op.laneCtxs = nil
+	if op.Opts.ShardPrefetch {
+		b, ok := op.sched.(BatchScheduler)
+		if !ok {
+			return fmt.Errorf("assembly: ShardPrefetch needs a batch-capable scheduler, got %s", op.sched.Name())
+		}
+		op.batcher = b
+		op.laneSpans = make([]*qtrace.Span, b.Lanes())
+		op.laneCtxs = make([]context.Context, b.Lanes())
+		for i := range op.laneSpans {
+			sp := op.qspan.StartChild(qtrace.LayerAssembly, fmt.Sprintf("shard%d", i))
+			op.laneSpans[i] = sp
+			ctx := op.qctx
+			if ctx == nil {
+				ctx = context.Background()
+			}
+			op.laneCtxs[i] = qtrace.With(ctx, sp)
+		}
+	}
 	if op.Opts.ReserveFrames > 0 {
 		r, err := op.Store.File.Pool().Reserve(op.Opts.ReserveFrames)
 		if err != nil {
@@ -281,6 +321,7 @@ func (op *Operator) Open() error {
 	if err := op.Input.Open(); err != nil {
 		op.reservation.Release()
 		op.reservation = nil
+		op.endLaneSpans()
 		op.qspan.End()
 		return err
 	}
@@ -338,7 +379,7 @@ func (op *Operator) Next() (volcano.Item, error) {
 			continue
 		}
 		head := op.head()
-		ref := op.sched.Next(head)
+		ref := op.nextRef(head)
 		if ref == nil {
 			// All live items' references were consumed but none
 			// completed: impossible unless bookkeeping broke.
@@ -377,6 +418,9 @@ func (op *Operator) Close() error {
 	op.outq = nil
 	op.sched = nil
 	op.shared = nil
+	op.batcher = nil
+	op.batchq = nil
+	op.endLaneSpans()
 	op.qspan.End()
 	// The admission quota returns to the pool on every exit path, error
 	// or not — a leaked reservation would shed later queries forever.
@@ -384,6 +428,71 @@ func (op *Operator) Close() error {
 	op.reservation = nil
 	errs = append(errs, op.Input.Close())
 	return errors.Join(errs...)
+}
+
+// endLaneSpans closes the per-shard prefetch spans (no-ops when
+// ShardPrefetch is off or the query is untraced).
+func (op *Operator) endLaneSpans() {
+	for _, sp := range op.laneSpans {
+		sp.End()
+	}
+	op.laneSpans = nil
+	op.laneCtxs = nil
+}
+
+// nextRef is the scheduling step. Without a batch scheduler it simply
+// asks the policy for the next reference. With ShardPrefetch on it
+// pulls one SCAN step per shard lane, warms the buffer with one
+// concurrent fix per lane, and then serves the batch one reference at
+// a time — so every reference still flows through the ordinary resolve
+// and fault paths, with the page (usually) already resident.
+func (op *Operator) nextRef(head disk.PageID) *Ref {
+	if op.batcher == nil {
+		return op.sched.Next(head)
+	}
+	for len(op.batchq) > 0 {
+		r := op.batchq[0]
+		op.batchq = op.batchq[1:]
+		if r.live() {
+			return r
+		}
+	}
+	batch := op.batcher.NextBatch(head)
+	if len(batch) == 0 {
+		return nil
+	}
+	op.prefetchBatch(batch)
+	op.batchq = batch[1:]
+	return batch[0]
+}
+
+// prefetchBatch warms the buffer with one concurrent read per shard
+// lane, each attributed to its lane's qtrace span. Errors are dropped
+// on purpose: the sequential resolve that follows re-encounters any
+// fault through the full fault-policy machinery (retry budgets,
+// quarantine, breaker-aware failover), so the prefetch can stay purely
+// an optimisation. Every fix is unfixed before the barrier, so the
+// batch holds no pins of its own.
+func (op *Operator) prefetchBatch(batch []*Ref) {
+	if len(batch) < 2 {
+		return
+	}
+	pool := op.Store.File.Pool()
+	var wg sync.WaitGroup
+	for _, r := range batch {
+		ctx := op.qctx
+		if lane := op.batcher.LaneOf(r.RID.Page); lane < len(op.laneCtxs) && op.laneCtxs[lane] != nil {
+			ctx = op.laneCtxs[lane]
+		}
+		wg.Add(1)
+		go func(pg disk.PageID, ctx context.Context) {
+			defer wg.Done()
+			if f, err := pool.FixAs(ctx, pg); err == nil {
+				pool.Unfix(f, false)
+			}
+		}(r.RID.Page, ctx)
+	}
+	wg.Wait()
 }
 
 // admissionAllowed gates window growth on buffer headroom when window

@@ -1,0 +1,138 @@
+package assembly
+
+import (
+	"fmt"
+
+	"revelation/internal/disk"
+)
+
+// BatchScheduler is implemented by schedulers that can hand out one
+// reference per independent device lane in a single step, so the
+// operator can fetch them concurrently — one in-flight read per lane —
+// while preserving each lane's own service order.
+type BatchScheduler interface {
+	Scheduler
+	// Lanes reports how many independent lanes the scheduler sweeps.
+	Lanes() int
+	// LaneOf routes a page to its lane index.
+	LaneOf(p disk.PageID) int
+	// NextBatch removes and returns up to one live reference per
+	// non-empty lane, each chosen by that lane's own policy relative to
+	// its own last serviced page. Lanes appear in ascending index order
+	// so the batch composition is deterministic. An empty batch means no
+	// references remain.
+	NextBatch(head disk.PageID) []*Ref
+}
+
+// ShardElevator is the fleet version of MultiElevator: one SCAN
+// elevator per shard, with lanes defined by the router's rendezvous
+// assignment instead of a stripe. Each shard is an independent device
+// with its own head, so each lane sweeps relative to its *own* last
+// serviced page; NextBatch exposes one reference per shard so the
+// operator can keep every shard's pipe full concurrently while the
+// per-shard order stays a pure SCAN.
+type ShardElevator struct {
+	shardOf  func(disk.PageID) int
+	lanes    []*elevator
+	lastPage []disk.PageID
+	rr       int
+}
+
+// NewShardElevator builds a scheduler for n shards; shardOf routes a
+// global page to its shard index (use shard.Router.ShardOf).
+func NewShardElevator(n int, shardOf func(disk.PageID) int) *ShardElevator {
+	if n < 1 {
+		n = 1
+	}
+	s := &ShardElevator{
+		shardOf:  shardOf,
+		lanes:    make([]*elevator, n),
+		lastPage: make([]disk.PageID, n),
+	}
+	for i := range s.lanes {
+		s.lanes[i] = &elevator{dirUp: true}
+	}
+	return s
+}
+
+// Name implements Scheduler.
+func (s *ShardElevator) Name() string {
+	return fmt.Sprintf("shard-elevator(%d)", len(s.lanes))
+}
+
+// Lanes implements BatchScheduler.
+func (s *ShardElevator) Lanes() int { return len(s.lanes) }
+
+// LaneOf implements BatchScheduler.
+func (s *ShardElevator) LaneOf(p disk.PageID) int {
+	return s.shardOf(p) % len(s.lanes)
+}
+
+// Add implements Scheduler.
+func (s *ShardElevator) Add(refs ...*Ref) {
+	for _, r := range refs {
+		s.lanes[s.LaneOf(r.Page())].Add(r)
+	}
+}
+
+// Next implements Scheduler: among shards with pending references,
+// serve the one whose next service is cheapest for its own arm
+// (shortest positioning first across shards, SCAN within a shard).
+// Ties rotate round-robin so no shard starves. This sequential path
+// serves schedulers-as-usual callers; concurrent callers use
+// NextBatch.
+func (s *ShardElevator) Next(disk.PageID) *Ref {
+	n := len(s.lanes)
+	best, bestDist := -1, int64(1)<<62
+	for i := 0; i < n; i++ {
+		lane := (s.rr + i) % n
+		d, ok := s.lanes[lane].peekDist(s.lastPage[lane])
+		if !ok {
+			continue
+		}
+		if d < bestDist {
+			best, bestDist = lane, d
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	r := s.lanes[best].Next(s.lastPage[best])
+	if r == nil {
+		return nil
+	}
+	s.lastPage[best] = r.Page()
+	s.rr = (best + 1) % n
+	return r
+}
+
+// NextBatch implements BatchScheduler: one reference per non-empty
+// lane, in lane order, each advancing its own head.
+func (s *ShardElevator) NextBatch(disk.PageID) []*Ref {
+	var batch []*Ref
+	for lane, el := range s.lanes {
+		r := el.Next(s.lastPage[lane])
+		if r == nil {
+			continue
+		}
+		s.lastPage[lane] = r.Page()
+		batch = append(batch, r)
+	}
+	return batch
+}
+
+// TakeOnPage implements Scheduler.
+func (s *ShardElevator) TakeOnPage(p disk.PageID) []*Ref {
+	return s.lanes[s.LaneOf(p)].TakeOnPage(p)
+}
+
+// Len implements Scheduler.
+func (s *ShardElevator) Len() int {
+	total := 0
+	for _, l := range s.lanes {
+		total += l.Len()
+	}
+	return total
+}
+
+var _ BatchScheduler = (*ShardElevator)(nil)

@@ -2,6 +2,7 @@ package disk
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 )
 
@@ -80,6 +81,13 @@ func (rp RetryPolicy) Backoff(retry int) time.Duration {
 // fn keeps failing with a retryable error and attempts remain. It
 // returns the last error and the number of retries performed.
 func (rp RetryPolicy) Do(fn func() error) (retries int, err error) {
+	return rp.DoJitter(nil, fn)
+}
+
+// DoJitter is Do with full jitter: when j is non-nil every backoff is
+// drawn uniformly from (0, Backoff(attempt)] instead of the exact
+// deterministic delay. Pass nil for the classic deterministic pacing.
+func (rp RetryPolicy) DoJitter(j *Jitter, fn func() error) (retries int, err error) {
 	attempts := rp.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -89,8 +97,46 @@ func (rp RetryPolicy) Do(fn func() error) (retries int, err error) {
 		if err == nil || !Retryable(err) || attempt+1 >= attempts {
 			return attempt, err
 		}
-		if d := rp.Backoff(attempt); d > 0 {
+		if d := j.Backoff(rp, attempt); d > 0 {
 			time.Sleep(d)
 		}
 	}
+}
+
+// Jitter draws full-jitter backoff delays from a seeded splitmix64
+// stream: uniformly distributed in (0, ceiling], so simultaneous
+// retry/reconnect loops across a fleet desynchronize instead of
+// hammering their servers in lockstep. A nil *Jitter is valid and
+// falls back to the deterministic RetryPolicy.Backoff — callers never
+// need a guard. Safe for concurrent use.
+type Jitter struct {
+	state atomic.Uint64
+}
+
+// NewJitter builds a jitter source from seed. Two sources with the
+// same seed produce the same delay sequence, so jittered pacing stays
+// reproducible in tests.
+func NewJitter(seed int64) *Jitter {
+	j := &Jitter{}
+	j.state.Store(uint64(seed)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15)
+	return j
+}
+
+// next is one splitmix64 step.
+func (j *Jitter) next() uint64 {
+	z := j.state.Add(0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Backoff returns the delay before the given retry: uniform in
+// (0, rp.Backoff(retry)] for a non-nil source, exactly rp.Backoff(retry)
+// for nil.
+func (j *Jitter) Backoff(rp RetryPolicy, retry int) time.Duration {
+	d := rp.Backoff(retry)
+	if j == nil || d <= 0 {
+		return d
+	}
+	return 1 + time.Duration(j.next()%uint64(d))
 }

@@ -47,6 +47,22 @@ type FaultConfig struct {
 	// Writes extends injection to WritePage; by default only reads
 	// fault, which matches the assembly workload (read-dominated).
 	Writes bool
+
+	// Brownout models a sustained outage episode — a wedged server, a
+	// failing disk limping before it dies — driven by the device's
+	// access clock rather than wall time, so breaker open/half-open
+	// transitions are exercisable deterministically. The episode spans
+	// accesses [BrownoutStart, BrownoutStart+BrownoutLen): intensity
+	// ramps up linearly over the first BrownoutRamp accesses, holds at
+	// full for the middle, and ramps back down over the last
+	// BrownoutRamp. Every access during the episode stalls for
+	// intensity × BrownoutStall; accesses at full intensity also fail
+	// with ErrTransient (the plateau is an outage, the ramps are a
+	// slowdown). BrownoutLen <= 0 disables the profile.
+	BrownoutStart int64
+	BrownoutLen   int64
+	BrownoutRamp  int64
+	BrownoutStall time.Duration
 }
 
 // FaultStats counts what the injector actually did.
@@ -55,6 +71,7 @@ type FaultStats struct {
 	Permanent int64 // permanent errors injected
 	Latency   int64 // latency spikes injected
 	Stalls    int64 // stalls injected
+	Brownouts int64 // accesses refused at full brownout intensity
 }
 
 // Faulty wraps any Device with deterministic, seeded fault injection.
@@ -72,6 +89,9 @@ type Faulty struct {
 	// remaining tracks how many transient failures each faulty page
 	// still owes before it recovers.
 	remaining map[PageID]int
+	// accesses is the brownout clock: injection decisions seen so far
+	// (reads always; writes only when cfg.Writes).
+	accesses int64
 	// crash, when set, kills the device at a chosen write ordinal. The
 	// same CrashPoint may be shared by several Faulty devices so the
 	// write clock counts globally.
@@ -84,6 +104,7 @@ type Faulty struct {
 	permanent metrics.Counter
 	latency   metrics.Counter
 	stalls    metrics.Counter
+	brownouts metrics.Counter
 }
 
 // NewFaulty wraps dev with the given fault configuration.
@@ -111,10 +132,12 @@ func (f *Faulty) SetConfig(cfg FaultConfig) {
 	defer f.mu.Unlock()
 	f.cfg = cfg
 	f.remaining = map[PageID]int{}
+	f.accesses = 0
 	f.transient.Reset()
 	f.permanent.Reset()
 	f.latency.Reset()
 	f.stalls.Reset()
+	f.brownouts.Reset()
 }
 
 // SetCrash attaches a crash point. Pass the same *CrashPoint to every
@@ -149,6 +172,7 @@ func (f *Faulty) FaultStats() FaultStats {
 		Permanent: f.permanent.Value(),
 		Latency:   f.latency.Value(),
 		Stalls:    f.stalls.Value(),
+		Brownouts: f.brownouts.Value(),
 	}
 }
 
@@ -164,6 +188,8 @@ func (f *Faulty) RegisterMetrics(r *metrics.Registry, dev string) {
 		&f.latency, "dev", dev)
 	r.Attach("asm_disk_stalls_total", "Injected slow-access stalls.",
 		&f.stalls, "dev", dev)
+	r.Attach("asm_disk_brownouts_total", "Accesses refused at full brownout intensity.",
+		&f.brownouts, "dev", dev)
 	RegisterMetrics(f.dev, r, dev)
 }
 
@@ -233,6 +259,43 @@ func (f *Faulty) LatencySpiky(p PageID) bool {
 	return f.cfg.LatencyRate > 0 && mix(f.cfg.Seed, p, saltLatency) < f.cfg.LatencyRate
 }
 
+// brownoutIntensity is the episode's intensity for the ord-th access:
+// 0 outside the window, a linear ramp to 1 over the first (and last)
+// BrownoutRamp accesses, and exactly 1 on the plateau between them.
+func brownoutIntensity(cfg FaultConfig, ord int64) float64 {
+	if cfg.BrownoutLen <= 0 {
+		return 0
+	}
+	pos := ord - cfg.BrownoutStart
+	if pos < 0 || pos >= cfg.BrownoutLen {
+		return 0
+	}
+	ramp := cfg.BrownoutRamp
+	if ramp < 0 {
+		ramp = 0
+	}
+	if 2*ramp > cfg.BrownoutLen {
+		ramp = cfg.BrownoutLen / 2
+	}
+	switch {
+	case pos < ramp:
+		return float64(pos+1) / float64(ramp+1)
+	case pos >= cfg.BrownoutLen-ramp:
+		return float64(cfg.BrownoutLen-pos) / float64(ramp+1)
+	default:
+		return 1
+	}
+}
+
+// BrownoutIntensity reports the intensity the *next* access would see
+// — 0 outside the configured episode, 1 on the plateau. Tests use it
+// to walk the access clock to a known point in the episode.
+func (f *Faulty) BrownoutIntensity() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return brownoutIntensity(f.cfg, f.accesses)
+}
+
 // inject decides the fate of one access before it reaches the device.
 func (f *Faulty) inject(p PageID, write bool) error {
 	return f.injectAs(p, write, nil)
@@ -255,9 +318,20 @@ func (f *Faulty) injectAs(p PageID, write bool, sp *qtrace.Span) error {
 		f.stalls.Inc()
 		delay += f.cfg.Stall
 	}
+	// The brownout clock ticks on every injection decision; the ramps
+	// slow accesses down, the plateau refuses them outright.
+	intensity := brownoutIntensity(f.cfg, f.accesses)
+	f.accesses++
+	if intensity > 0 {
+		delay += time.Duration(intensity * float64(f.cfg.BrownoutStall))
+	}
 	var err error
 	var class string
 	switch {
+	case intensity >= 1:
+		f.brownouts.Inc()
+		class = "transient"
+		err = fmt.Errorf("%w: page %d: brownout", ErrTransient, p)
 	case f.permanentLocked(p):
 		f.permanent.Inc()
 		class = "permanent"

@@ -244,3 +244,121 @@ func TestStallFaults(t *testing.T) {
 		t.Errorf("write bumped Stalls to %d", got)
 	}
 }
+
+func TestBrownoutDeterministicEpisode(t *testing.T) {
+	inner := New(4)
+	f := NewFaulty(inner, FaultConfig{BrownoutStart: 4, BrownoutLen: 10, BrownoutRamp: 3})
+	buf := make([]byte, DefaultPageSize)
+
+	// Start 4, length 10, ramp 3: accesses 4..6 ramp up (1/4, 2/4,
+	// 3/4), 7..10 hold the plateau and refuse, 11..13 ramp back down.
+	var failed []int
+	for i := 0; i < 20; i++ {
+		intensity := f.BrownoutIntensity()
+		switch {
+		case i < 4 || i >= 14:
+			if intensity != 0 {
+				t.Fatalf("access %d: intensity = %v outside the episode", i, intensity)
+			}
+		case i >= 7 && i <= 10:
+			if intensity != 1 {
+				t.Fatalf("access %d: intensity = %v, want plateau 1", i, intensity)
+			}
+		default:
+			if intensity <= 0 || intensity >= 1 {
+				t.Fatalf("access %d: intensity = %v, want a ramp in (0,1)", i, intensity)
+			}
+		}
+		err := f.ReadPage(0, buf)
+		if err != nil {
+			if !errors.Is(err, ErrTransient) || !Retryable(err) {
+				t.Fatalf("access %d: err = %v, want a retryable ErrTransient", i, err)
+			}
+			failed = append(failed, i)
+		}
+	}
+	want := []int{7, 8, 9, 10}
+	if len(failed) != len(want) {
+		t.Fatalf("refused accesses = %v, want %v", failed, want)
+	}
+	for i := range want {
+		if failed[i] != want[i] {
+			t.Fatalf("refused accesses = %v, want %v", failed, want)
+		}
+	}
+	st := f.FaultStats()
+	if st.Brownouts != 4 {
+		t.Errorf("Brownouts = %d, want 4", st.Brownouts)
+	}
+	if st.Transient != 0 || st.Permanent != 0 || st.Stalls != 0 {
+		t.Errorf("brownout leaked into other counters: %+v", st)
+	}
+
+	// Re-arming resets the access clock: the episode replays identically.
+	f.SetConfig(FaultConfig{BrownoutStart: 4, BrownoutLen: 10, BrownoutRamp: 3})
+	for i := 0; i < 20; i++ {
+		err := f.ReadPage(0, buf)
+		refused := i >= 7 && i <= 10
+		if refused != (err != nil) {
+			t.Fatalf("replayed access %d: err = %v, want refused=%v", i, err, refused)
+		}
+	}
+}
+
+func TestBrownoutLeavesStalledPredicateAlone(t *testing.T) {
+	inner := New(256)
+	base := FaultConfig{Seed: 11, StallRate: 0.2}
+	f := NewFaulty(inner, base)
+	before := make([]bool, 256)
+	anyStalled := false
+	for p := range before {
+		before[p] = f.Stalled(PageID(p))
+		anyStalled = anyStalled || before[p]
+	}
+	if !anyStalled {
+		t.Fatal("degenerate stall set: no page stalled at rate 0.2")
+	}
+
+	bcfg := base
+	bcfg.BrownoutStart = 0
+	bcfg.BrownoutLen = 1000
+	bcfg.BrownoutRamp = 10
+	f.SetConfig(bcfg)
+	for p := range before {
+		if f.Stalled(PageID(p)) != before[p] {
+			t.Fatalf("page %d: Stalled changed when the brownout armed", p)
+		}
+	}
+	// The predicate is pure: probing it 256 times must not have
+	// advanced the brownout's access clock past the first ramp step.
+	if got, want := f.BrownoutIntensity(), 1.0/11.0; got != want {
+		t.Errorf("BrownoutIntensity after predicate probes = %v, want %v", got, want)
+	}
+}
+
+func TestJitterBackoffSeededAndBounded(t *testing.T) {
+	rp := RetryPolicy{MaxAttempts: 8, BaseBackoff: time.Millisecond, MaxBackoff: 16 * time.Millisecond}
+	a, b, other := NewJitter(42), NewJitter(42), NewJitter(43)
+	differs := false
+	for i := 0; i < 64; i++ {
+		retry := i % 5
+		ceiling := rp.Backoff(retry)
+		da, db, dc := a.Backoff(rp, retry), b.Backoff(rp, retry), other.Backoff(rp, retry)
+		if da != db {
+			t.Fatalf("draw %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da <= 0 || da > ceiling {
+			t.Fatalf("draw %d: %v outside (0, %v]", i, da, ceiling)
+		}
+		if da != dc {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("seeds 42 and 43 produced identical delay sequences")
+	}
+	var nj *Jitter
+	if got := nj.Backoff(rp, 3); got != rp.Backoff(3) {
+		t.Errorf("nil jitter = %v, want the deterministic %v", got, rp.Backoff(3))
+	}
+}

@@ -31,6 +31,17 @@ type ClientConfig struct {
 	// remote transient faults) with exponential backoff. The zero
 	// policy disables retries.
 	Retry disk.RetryPolicy
+	// JitterSeed seeds the full jitter applied to retry/reconnect
+	// backoff, so a fleet of clients kicked by the same outage
+	// desynchronizes instead of re-dialing in lockstep. Zero derives a
+	// per-client seed from the primary address; tests set it explicitly
+	// for a reproducible delay sequence.
+	JitterSeed int64
+	// Label overrides the device label this client's asm_net_* metric
+	// series carry; empty means "net<Dev>". A sharded fleet gives each
+	// member client its own label so their series do not collide in one
+	// registry.
+	Label string
 	// HedgeAfter, when positive, hedges a read to a replica after a
 	// fixed delay. When zero, the delay adapts: a read is hedged once
 	// it outlives HedgeQuantile of recent read latencies (doubled),
@@ -81,7 +92,8 @@ type clientConn struct {
 // seek-distance metric stay meaningful even though the physical device
 // is remote.
 type Client struct {
-	cfg ClientConfig
+	cfg    ClientConfig
+	jitter *disk.Jitter
 
 	primary  *endpoint
 	replicas []*endpoint
@@ -122,6 +134,7 @@ func Dial(cfg ClientConfig) (*Client, error) {
 	}
 	c := &Client{
 		cfg:     cfg,
+		jitter:  disk.NewJitter(jitterSeed(cfg.JitterSeed, cfg.Primary)),
 		primary: &endpoint{addr: cfg.Primary},
 	}
 	for _, a := range cfg.Replicas {
@@ -129,7 +142,10 @@ func Dial(cfg ClientConfig) (*Client, error) {
 	}
 	c.readFrom = c.primary
 	if r := cfg.Registry; r != nil {
-		dev := fmt.Sprintf("net%d", cfg.Dev)
+		dev := cfg.Label
+		if dev == "" {
+			dev = fmt.Sprintf("net%d", cfg.Dev)
+		}
 		r.Attach("asm_net_sends_total", "Page-service requests sent.", &c.sends, "dev", dev)
 		r.Attach("asm_net_recvs_total", "Page-service responses received.", &c.recvs, "dev", dev)
 		r.Attach("asm_net_errors_total", "Page-service requests that failed.", &c.errors_, "dev", dev)
@@ -147,6 +163,29 @@ func Dial(cfg ClientConfig) (*Client, error) {
 	c.numPages, c.pageSize = pages, ps
 	c.mu.Unlock()
 	return c, nil
+}
+
+// jitterSeed resolves the configured seed: an explicit value wins, and
+// zero derives a stable per-address seed (FNV-1a) so distinct members
+// of a fleet jitter differently by default.
+func jitterSeed(seed int64, addr string) int64 {
+	if seed != 0 {
+		return seed
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	return int64(h | 1) // never zero
+}
+
+// AppliedLSN fetches the endpoint's replication progress from its Info
+// reply: the applied LSN for a replica-backed server, 0 for a primary.
+// The shard router wires it into its failover staleness guard.
+func (c *Client) AppliedLSN() (uint64, error) {
+	_, _, lsn, err := c.info(c.primary)
+	return lsn, err
 }
 
 // connect returns ep's live connection, dialing if needed.
@@ -557,7 +596,7 @@ func (c *Client) readPage(p disk.PageID, buf []byte, sp *qtrace.Span) error {
 	// One reqID for the whole logical read: every retry, reconnect
 	// re-send, and hedge leg below reuses it.
 	reqID := c.nextID()
-	_, err := c.cfg.Retry.Do(func() error {
+	_, err := c.cfg.Retry.DoJitter(c.jitter, func() error {
 		err := c.readOnce(p, buf, reqID, sp)
 		if err != nil && disk.Retryable(err) && c.readTarget() == c.primary {
 			// The primary may be down, not just slow: try to move the
@@ -581,7 +620,7 @@ func (c *Client) WritePage(p disk.PageID, buf []byte) error {
 	binary.LittleEndian.PutUint32(body, uint32(p))
 	copy(body[4:], buf)
 	reqID := c.nextID()
-	_, err := c.cfg.Retry.Do(func() error {
+	_, err := c.cfg.Retry.DoJitter(c.jitter, func() error {
 		_, err := c.call(c.primary, opWrite, body, int64(p), reqID, nil)
 		return err
 	})
@@ -594,7 +633,7 @@ func (c *Client) Allocate(n int) (disk.PageID, error) {
 	binary.LittleEndian.PutUint32(body[:], uint32(n))
 	var first disk.PageID
 	reqID := c.nextID()
-	_, err := c.cfg.Retry.Do(func() error {
+	_, err := c.cfg.Retry.DoJitter(c.jitter, func() error {
 		resp, err := c.call(c.primary, opAlloc, body[:], trace.NoPage, reqID, nil)
 		if err != nil {
 			return err

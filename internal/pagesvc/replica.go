@@ -26,6 +26,11 @@ type ReplicaConfig struct {
 	// zero policy means disk.DefaultRetryPolicy's backoff, retried
 	// forever — a follower's job is to keep trying.
 	Retry disk.RetryPolicy
+	// JitterSeed seeds the full jitter on the reconnect backoff (see
+	// ClientConfig.JitterSeed): zero derives a per-replica seed from
+	// the primary address, an explicit value makes the delay sequence
+	// reproducible.
+	JitterSeed int64
 	// Registry, when set, receives asm_replica_* counters.
 	Registry *metrics.Registry
 }
@@ -38,8 +43,9 @@ type ReplicaConfig struct {
 // Follow resumption (reconnects ask only for records past it) and the
 // client's failover staleness guard (published via Server Info).
 type Replica struct {
-	dev disk.Device
-	cfg ReplicaConfig
+	dev    disk.Device
+	cfg    ReplicaConfig
+	jitter *disk.Jitter
 
 	applied atomic.Uint64
 
@@ -68,7 +74,12 @@ func NewReplica(dev disk.Device, cfg ReplicaConfig) *Replica {
 			MaxBackoff:  disk.DefaultRetryPolicy.MaxBackoff,
 		}
 	}
-	r := &Replica{dev: dev, cfg: cfg, done: make(chan struct{})}
+	r := &Replica{
+		dev:    dev,
+		cfg:    cfg,
+		jitter: disk.NewJitter(jitterSeed(cfg.JitterSeed, cfg.Primary)),
+		done:   make(chan struct{}),
+	}
 	if reg := cfg.Registry; reg != nil {
 		reg.Attach("asm_replica_records_total", "WAL records applied from the primary.", &r.records)
 		reg.Attach("asm_replica_reapplied_total", "Shipped records already applied (reconnect overlap).", &r.reapplied)
@@ -110,10 +121,13 @@ func (r *Replica) Run() error {
 		if attempt >= r.cfg.Retry.MaxAttempts {
 			return fmt.Errorf("pagesvc: replica: follow retries exhausted: %w", err)
 		}
+		// Full jitter on the reconnect pacing: a fleet of followers cut
+		// by one network event spreads its re-dials instead of storming
+		// the primary in lockstep.
 		select {
 		case <-r.done:
 			return nil
-		case <-time.After(r.cfg.Retry.Backoff(attempt)):
+		case <-time.After(r.jitter.Backoff(r.cfg.Retry, attempt)):
 		}
 		r.reconnects.Inc()
 	}

@@ -74,6 +74,9 @@ type Counters struct {
 	NetRecvs    int64 // response frames received
 	NetTimeouts int64 // requests that timed out in flight
 	Hedges      int64 // straggler reads hedged to a replica
+
+	// Shard-layer attribution (shard router).
+	DegradedReads int64 // reads served by a replica or refused with the breaker open
 }
 
 // Add accumulates o into c (non-atomic; for aggregation of snapshots).
@@ -92,25 +95,27 @@ func (c *Counters) Add(o Counters) {
 	c.NetRecvs += o.NetRecvs
 	c.NetTimeouts += o.NetTimeouts
 	c.Hedges += o.Hedges
+	c.DegradedReads += o.DegradedReads
 }
 
 // load atomically snapshots c.
 func (c *Counters) load() Counters {
 	return Counters{
-		Reads:       atomic.LoadInt64(&c.Reads),
-		SeekPages:   atomic.LoadInt64(&c.SeekPages),
-		Faults:      atomic.LoadInt64(&c.Faults),
-		Hits:        atomic.LoadInt64(&c.Hits),
-		Misses:      atomic.LoadInt64(&c.Misses),
-		IORetries:   atomic.LoadInt64(&c.IORetries),
-		Fetches:     atomic.LoadInt64(&c.Fetches),
-		Links:       atomic.LoadInt64(&c.Links),
-		RefRetries:  atomic.LoadInt64(&c.RefRetries),
-		Stalls:      atomic.LoadInt64(&c.Stalls),
-		NetSends:    atomic.LoadInt64(&c.NetSends),
-		NetRecvs:    atomic.LoadInt64(&c.NetRecvs),
-		NetTimeouts: atomic.LoadInt64(&c.NetTimeouts),
-		Hedges:      atomic.LoadInt64(&c.Hedges),
+		Reads:         atomic.LoadInt64(&c.Reads),
+		SeekPages:     atomic.LoadInt64(&c.SeekPages),
+		Faults:        atomic.LoadInt64(&c.Faults),
+		Hits:          atomic.LoadInt64(&c.Hits),
+		Misses:        atomic.LoadInt64(&c.Misses),
+		IORetries:     atomic.LoadInt64(&c.IORetries),
+		Fetches:       atomic.LoadInt64(&c.Fetches),
+		Links:         atomic.LoadInt64(&c.Links),
+		RefRetries:    atomic.LoadInt64(&c.RefRetries),
+		Stalls:        atomic.LoadInt64(&c.Stalls),
+		NetSends:      atomic.LoadInt64(&c.NetSends),
+		NetRecvs:      atomic.LoadInt64(&c.NetRecvs),
+		NetTimeouts:   atomic.LoadInt64(&c.NetTimeouts),
+		Hedges:        atomic.LoadInt64(&c.Hedges),
+		DegradedReads: atomic.LoadInt64(&c.DegradedReads),
 	}
 }
 
@@ -159,6 +164,22 @@ func (s *Span) Counters() Counters {
 		return Counters{}
 	}
 	return s.c.load()
+}
+
+// Layer returns the span's layer tag ("" for nil).
+func (s *Span) Layer() string {
+	if s == nil {
+		return ""
+	}
+	return s.layer
+}
+
+// Name returns the span's label ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
 }
 
 // StartChild opens a child span under s. When the trace's span budget
@@ -290,6 +311,16 @@ func (s *Span) OnHedge() {
 		return
 	}
 	atomic.AddInt64(&s.c.Hedges, 1)
+}
+
+// OnDegraded counts a read served by a shard's replica (or refused
+// outright) because the shard's circuit breaker kept the primary out
+// of the read path.
+func (s *Span) OnDegraded() {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.c.DegradedReads, 1)
 }
 
 // maxSpans bounds one trace's span tree. Past the cap StartChild

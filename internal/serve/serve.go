@@ -24,6 +24,7 @@ import (
 	"revelation/internal/buffer"
 	"revelation/internal/metrics"
 	"revelation/internal/qtrace"
+	"revelation/internal/shard"
 	"revelation/internal/trace"
 )
 
@@ -57,6 +58,12 @@ type Options struct {
 	// carries the ID in an X-Query-Id header. Nil disables per-query
 	// tracing (and /tracez) with zero overhead on the query path.
 	QTrace *qtrace.Collector
+	// RetryBudget, when positive, caps the I/O retries one /query may
+	// spend across all shards combined: each request's context carries a
+	// fresh shard.Budget of this many tokens, so a brown-out on one
+	// shard degrades that query instead of letting unbounded retries
+	// hold its slot. Zero means no budget (retry policies alone govern).
+	RetryBudget int
 }
 
 // maxSamples bounds the occupancy ring; when full, the oldest half is
@@ -213,6 +220,9 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 	if qt != nil {
 		ctx = qtrace.With(ctx, root)
 		w.Header().Set("X-Query-Id", fmt.Sprintf("%d", qt.QID))
+	}
+	if s.opts.RetryBudget > 0 {
+		ctx = shard.WithBudget(ctx, shard.NewBudget(s.opts.RetryBudget))
 	}
 	summary, err := s.opts.Query(ctx)
 	status := "ok"

@@ -1,0 +1,191 @@
+// Package shard routes pages across a fleet of page services with a
+// consistent hash, so a buffer pool, WAL writer, or assembly operator
+// stacks on N shards through the one disk.Device interface it already
+// knows. Robustness is the point: each shard carries a three-state
+// circuit breaker, reads fail over to the shard's replica under the
+// same LSN-floor staleness guard the single-primary client uses, and
+// retries draw from a per-query budget shared across shards so one
+// flaky shard cannot starve the rest of the query's deadline.
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+// Breaker states. Closed passes traffic and counts consecutive
+// failures; Open fails fast (reads go straight to the replica) until
+// the open timeout elapses; HalfOpen admits one probe at a time to the
+// primary and closes again after enough consecutive probe successes.
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes a Breaker. The zero value gets production
+// defaults; tests inject Clock to walk the state machine without
+// sleeping.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive primary failures trip
+	// the breaker open; values < 1 mean 3.
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays open before admitting
+	// a half-open probe; zero means 100ms.
+	OpenTimeout time.Duration
+	// HalfOpenSuccesses is how many consecutive probe successes close
+	// the breaker again; values < 1 mean 2.
+	HalfOpenSuccesses int
+	// Clock supplies the time; nil means time.Now. A seeded fake clock
+	// makes every transition deterministic in tests.
+	Clock func() time.Time
+	// OnTrip, when non-nil, runs (under the breaker lock) at every
+	// open transition — the router hooks its per-shard trip counter
+	// here so the metric and Trips() can never drift apart.
+	OnTrip func()
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold < 1 {
+		c.FailureThreshold = 3
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 100 * time.Millisecond
+	}
+	if c.HalfOpenSuccesses < 1 {
+		c.HalfOpenSuccesses = 2
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Breaker is a three-state circuit breaker guarding one shard's
+// primary. Allow asks whether the caller may attempt the primary;
+// every Allow()==true must be paired with exactly one Record reporting
+// how the attempt went.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	fails     int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	probing   bool
+	openedAt  time.Time
+	trips     int64 // closed/half-open -> open transitions
+}
+
+// NewBreaker builds a breaker with the given configuration.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether the caller may attempt the primary. While
+// open it returns false until OpenTimeout has elapsed, at which point
+// the breaker turns half-open and admits a single probe; in half-open
+// it admits one probe at a time.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.cfg.Clock().Sub(b.openedAt) < b.cfg.OpenTimeout {
+			return false
+		}
+		b.state = HalfOpen
+		b.successes = 0
+		b.probing = true
+		return true
+	default: // HalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports the outcome of an attempt admitted by Allow. A
+// failure while closed counts toward the trip threshold; a failure
+// while half-open re-opens immediately; enough consecutive half-open
+// successes close the breaker.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if ok {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case HalfOpen:
+		b.probing = false
+		if !ok {
+			b.trip()
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenSuccesses {
+			b.state = Closed
+			b.fails = 0
+		}
+	default: // Open: a late Record from an attempt admitted earlier.
+		if ok {
+			// The shard answered after all; treat it as a half-open
+			// success would be too eager — leave the timer to decide.
+			return
+		}
+	}
+}
+
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.cfg.Clock()
+	b.fails = 0
+	b.probing = false
+	b.trips++
+	if b.cfg.OnTrip != nil {
+		b.cfg.OnTrip()
+	}
+}
+
+// State returns the breaker's current position, advancing Open to
+// HalfOpen when the open timeout has already elapsed (so observers see
+// the same state a caller would).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Clock().Sub(b.openedAt) >= b.cfg.OpenTimeout {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

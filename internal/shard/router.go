@@ -1,0 +1,497 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"revelation/internal/disk"
+	"revelation/internal/metrics"
+	"revelation/internal/qtrace"
+	"revelation/internal/trace"
+)
+
+// ErrShardDown marks a read or write that failed because its shard's
+// circuit breaker is open and no fresh replica could serve it. It
+// always travels wrapped together with disk.ErrTransient: the shard
+// may come back, so RetryFaults-style callers keep the query alive
+// across half-open probes while SkipObject callers quarantine.
+var ErrShardDown = errors.New("shard: shard down")
+
+// Member is one shard of the fleet: a primary device (typically a
+// pagesvc.Client pointed at one asmpaged primary) plus an optional
+// read-only replica for breaker-aware failover.
+type Member struct {
+	// Name is the shard's stable identity — the rendezvous hash input.
+	// Two fleets listing the same names in any order route every page
+	// identically. Typically the primary's address.
+	Name string
+	// Primary serves reads and all writes.
+	Primary disk.Device
+	// Replica, when non-nil, serves reads while the primary's breaker
+	// is open (and as the same-attempt fallback when the primary fails
+	// transiently).
+	Replica disk.Device
+	// AppliedLSN, when non-nil, reports the replica's replication
+	// progress for the staleness guard; nil means always fresh.
+	AppliedLSN func() uint64
+}
+
+// Config tunes a Router.
+type Config struct {
+	// Members are the shards. At least one is required.
+	Members []Member
+	// Breaker configures every shard's circuit breaker.
+	Breaker BreakerConfig
+	// Retry bounds the router's per-access attempts and paces them.
+	// The zero policy means disk.DefaultRetryPolicy. Each retry beyond
+	// the first attempt also draws from the query's Budget when the
+	// context carries one; an exhausted budget stops retrying
+	// immediately.
+	Retry disk.RetryPolicy
+	// LSNFloor, when set, is the replica staleness guard: a replica
+	// whose AppliedLSN is below the floor is not eligible to serve
+	// degraded reads. Wire it to the local wal.Writer's DurableLSN.
+	LSNFloor func() uint64
+	// Tracer receives net-layer failover events when a shard enters or
+	// leaves degraded mode; nil disables them.
+	Tracer *trace.Tracer
+	// Registry, when set, receives asm_shard_* counters.
+	Registry *metrics.Registry
+}
+
+// shardState is the router's per-shard health bookkeeping.
+type shardState struct {
+	breaker *Breaker
+	// degraded marks an ongoing degraded episode (replica serving or
+	// shard unreachable); the edge into it emits one failover event.
+	degraded bool
+
+	degradedReads metrics.Counter
+	trips         metrics.Counter
+}
+
+// Router implements disk.Device over a fleet of shards with
+// deterministic rendezvous routing: page p lives on the member whose
+// hash(name, p) is highest. The assignment is a pure function of the
+// member-name set — independent of slice order and of request history
+// — and adding or removing a member moves only the pages whose argmax
+// changes (≈ 1/N of the keys).
+type Router struct {
+	cfg      Config
+	members  []Member
+	nameSeed []uint64 // per-member hash of Name, precomputed
+	shards   []shardState
+	retry    disk.RetryPolicy
+
+	mu     sync.Mutex
+	size   int
+	last   disk.PageID // last global page touched, for Head()
+	closed bool
+
+	retries         metrics.Counter
+	budgetExhausted metrics.Counter
+}
+
+// New builds a router over the given members. All member devices must
+// share a page size; each must already cover (or be growable to) the
+// full global page space — the router grows them in lockstep on
+// Allocate. The initial size is the smallest member size, so opening
+// over an existing fleet sees every commonly covered page.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one member")
+	}
+	ps := cfg.Members[0].Primary.PageSize()
+	seen := map[string]bool{}
+	for _, m := range cfg.Members {
+		if m.Name == "" {
+			return nil, fmt.Errorf("shard: member needs a name (the hash identity)")
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("shard: duplicate member name %q", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Primary == nil {
+			return nil, fmt.Errorf("shard: member %q has no primary device", m.Name)
+		}
+		if m.Primary.PageSize() != ps {
+			return nil, fmt.Errorf("shard: members disagree on page size")
+		}
+		if m.Replica != nil && m.Replica.PageSize() != ps {
+			return nil, fmt.Errorf("shard: member %q replica disagrees on page size", m.Name)
+		}
+	}
+	retry := cfg.Retry
+	if retry.MaxAttempts == 0 {
+		retry = disk.DefaultRetryPolicy
+	}
+	r := &Router{cfg: cfg, members: cfg.Members, retry: retry}
+	r.shards = make([]shardState, len(cfg.Members))
+	size := cfg.Members[0].Primary.NumPages()
+	for i, m := range cfg.Members {
+		r.nameSeed = append(r.nameSeed, hashName(m.Name))
+		bcfg := cfg.Breaker
+		trips := &r.shards[i].trips
+		bcfg.OnTrip = func() { trips.Inc() }
+		r.shards[i].breaker = NewBreaker(bcfg)
+		if n := m.Primary.NumPages(); n < size {
+			size = n
+		}
+	}
+	r.size = size
+	if reg := cfg.Registry; reg != nil {
+		reg.Attach("asm_shard_retries_total", "Router-level access retries across all shards.", &r.retries)
+		reg.Attach("asm_shard_budget_exhausted_total", "Accesses abandoned because the query's retry budget ran dry.", &r.budgetExhausted)
+		for i := range r.shards {
+			reg.Attach("asm_shard_degraded_reads_total", "Reads served by a shard's replica or refused with the breaker open.",
+				&r.shards[i].degradedReads, "shard", r.members[i].Name)
+			reg.Attach("asm_shard_breaker_trips_total", "Circuit-breaker open transitions.",
+				&r.shards[i].trips, "shard", r.members[i].Name)
+		}
+	}
+	return r, nil
+}
+
+// hashName is FNV-1a over the member name, finished with a splitmix64
+// round so short names still spread across the 64-bit space.
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// ShardOf routes a global page to its owning member index by highest
+// rendezvous score; ties break toward the lexically smaller name so
+// the choice stays a pure function of the name set.
+func (r *Router) ShardOf(p disk.PageID) int {
+	best, bestScore := 0, uint64(0)
+	for i, seed := range r.nameSeed {
+		score := mix64(seed ^ (uint64(p)+1)*0x9E3779B97F4A7C15)
+		if i == 0 || score > bestScore ||
+			(score == bestScore && r.members[i].Name < r.members[best].Name) {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// Shards returns the fleet width.
+func (r *Router) Shards() int { return len(r.members) }
+
+// MemberName returns shard i's hash identity.
+func (r *Router) MemberName(i int) string { return r.members[i].Name }
+
+// BreakerState exposes shard i's breaker position (for /statusz and
+// tests).
+func (r *Router) BreakerState(i int) BreakerState { return r.shards[i].breaker.State() }
+
+// Trips returns how many times shard i's breaker has opened.
+func (r *Router) Trips(i int) int64 { return r.shards[i].breaker.Trips() }
+
+// DegradedReads returns how many of shard i's reads ran degraded.
+func (r *Router) DegradedReads(i int) int64 { return r.shards[i].degradedReads.Value() }
+
+// checkAccess validates the access and books the head movement.
+func (r *Router) checkAccess(p disk.PageID, buf []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return disk.ErrClosed
+	}
+	if len(buf) != r.members[0].Primary.PageSize() {
+		return disk.ErrBadLength
+	}
+	if int(p) >= r.size {
+		return fmt.Errorf("%w: page %d of %d", disk.ErrOutOfRange, p, r.size)
+	}
+	r.last = p
+	return nil
+}
+
+// replicaFresh reports whether shard i's replica exists and clears the
+// staleness floor.
+func (r *Router) replicaFresh(i int) bool {
+	m := &r.members[i]
+	if m.Replica == nil {
+		return false
+	}
+	if r.cfg.LSNFloor == nil || m.AppliedLSN == nil {
+		return true
+	}
+	return m.AppliedLSN() >= r.cfg.LSNFloor()
+}
+
+// noteDegraded books one degraded read on shard i and emits a
+// failover event on the edge into the episode.
+func (r *Router) noteDegraded(i int, sp *qtrace.Span) {
+	st := &r.shards[i]
+	st.degradedReads.Inc()
+	sp.OnDegraded()
+	r.mu.Lock()
+	edge := !st.degraded
+	st.degraded = true
+	r.mu.Unlock()
+	if edge {
+		r.cfg.Tracer.Net(trace.KindFailover, trace.NoPage, 0, "shard:"+r.members[i].Name)
+	}
+}
+
+// noteHealthy clears shard i's degraded episode after a primary
+// success.
+func (r *Router) noteHealthy(i int) {
+	r.mu.Lock()
+	r.shards[i].degraded = false
+	r.mu.Unlock()
+}
+
+// access runs one routed read or write with breaker gating, replica
+// fallback (reads only), retry pacing, and budget accounting.
+func (r *Router) access(ctx context.Context, p disk.PageID, buf []byte, write bool) error {
+	i := r.ShardOf(p)
+	m := &r.members[i]
+	st := &r.shards[i]
+	sp := qtrace.From(ctx)
+	attempts := r.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		var err error
+		if st.breaker.Allow() {
+			if write {
+				err = m.Primary.WritePage(p, buf)
+			} else {
+				err = disk.ReadPageCtx(ctx, m.Primary, p, buf)
+			}
+			// A permanent page error is an answer, not an outage: the
+			// shard responded, so only transient failures count against
+			// its health.
+			st.breaker.Record(err == nil || !disk.Retryable(err))
+			if err == nil {
+				r.noteHealthy(i)
+				return nil
+			}
+			if !disk.Retryable(err) {
+				return err
+			}
+			// The primary failed transiently: a fresh replica can serve
+			// the read right now instead of burning a retry.
+			if !write && r.replicaFresh(i) {
+				if rerr := disk.ReadPageCtx(ctx, m.Replica, p, buf); rerr == nil {
+					r.noteDegraded(i, sp)
+					return nil
+				}
+			}
+		} else {
+			// Breaker open: reads go straight to the replica; without a
+			// fresh one the shard is down for this access.
+			if !write && r.replicaFresh(i) {
+				if rerr := disk.ReadPageCtx(ctx, m.Replica, p, buf); rerr == nil {
+					r.noteDegraded(i, sp)
+					return nil
+				}
+			}
+			err = fmt.Errorf("%w: shard %s: breaker open: %w", ErrShardDown, m.Name, disk.ErrTransient)
+			st.degradedReads.Inc()
+			sp.OnDegraded()
+		}
+		if attempt+1 >= attempts {
+			return err
+		}
+		// A retry beyond the first attempt draws from the per-query
+		// budget: when the query has spent its shared allowance —
+		// anywhere in the fleet — the error surfaces now and the fault
+		// policy above decides the object's fate.
+		if b := BudgetFrom(ctx); b != nil && !b.Take() {
+			r.budgetExhausted.Inc()
+			return fmt.Errorf("shard %s: retry budget exhausted: %w", m.Name, err)
+		}
+		r.retries.Inc()
+		sp.OnIORetries(1)
+		if d := r.retry.Backoff(attempt); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
+		}
+	}
+}
+
+// --- disk.Device ---
+
+// ReadPage implements disk.Device.
+func (r *Router) ReadPage(p disk.PageID, buf []byte) error {
+	return r.ReadPageCtx(context.Background(), p, buf)
+}
+
+// ReadPageCtx implements disk.CtxReader: the read is routed to the
+// owning shard and attributed (device-side) to the query span in ctx.
+func (r *Router) ReadPageCtx(ctx context.Context, p disk.PageID, buf []byte) error {
+	if err := r.checkAccess(p, buf); err != nil {
+		return err
+	}
+	return r.access(ctx, p, buf, false)
+}
+
+// WritePage implements disk.Device: writes go to the owning shard's
+// primary only — one write master per shard — and fail transiently
+// while it is down.
+func (r *Router) WritePage(p disk.PageID, buf []byte) error {
+	if err := r.checkAccess(p, buf); err != nil {
+		return err
+	}
+	return r.access(context.Background(), p, buf, true)
+}
+
+// Allocate implements disk.Device: the global space grows, and every
+// member grows in lockstep so any member can cover any page it may be
+// assigned (rendezvous assignment is scattered, so each shard backs
+// the full space and stores only its owned subset).
+func (r *Router) Allocate(n int) (disk.PageID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return disk.InvalidPage, disk.ErrClosed
+	}
+	first := disk.PageID(r.size)
+	newSize := r.size + n
+	for _, m := range r.members {
+		if grow := newSize - m.Primary.NumPages(); grow > 0 {
+			if _, err := m.Primary.Allocate(grow); err != nil {
+				return disk.InvalidPage, err
+			}
+		}
+	}
+	r.size = newSize
+	return first, nil
+}
+
+// NumPages implements disk.Device.
+func (r *Router) NumPages() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// PageSize implements disk.Device.
+func (r *Router) PageSize() int { return r.members[0].Primary.PageSize() }
+
+// Head implements disk.Device: the last global page touched. Member
+// heads are the physically meaningful ones; the per-shard elevator
+// keeps its own per-lane positions.
+func (r *Router) Head() disk.PageID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last
+}
+
+// Stats implements disk.Device: the aggregate over every member
+// primary and replica (a degraded read moves a replica's head, and the
+// combined view must count it).
+func (r *Router) Stats() disk.Stats {
+	var total disk.Stats
+	add := func(st disk.Stats) {
+		total.Reads += st.Reads
+		total.Writes += st.Writes
+		total.SeekTotal += st.SeekTotal
+		total.SeekReads += st.SeekReads
+		if st.MaxSeek > total.MaxSeek {
+			total.MaxSeek = st.MaxSeek
+		}
+	}
+	for _, m := range r.members {
+		add(m.Primary.Stats())
+		if m.Replica != nil {
+			add(m.Replica.Stats())
+		}
+	}
+	return total
+}
+
+// ResetStats implements disk.Device.
+func (r *Router) ResetStats() {
+	for _, m := range r.members {
+		m.Primary.ResetStats()
+		if m.Replica != nil {
+			m.Replica.ResetStats()
+		}
+	}
+}
+
+// ResetHead implements disk.Device.
+func (r *Router) ResetHead() {
+	r.mu.Lock()
+	r.last = 0
+	r.mu.Unlock()
+	for _, m := range r.members {
+		m.Primary.ResetHead()
+		if m.Replica != nil {
+			m.Replica.ResetHead()
+		}
+	}
+}
+
+// Close implements disk.Device: it closes every member device.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	var first error
+	for _, m := range r.members {
+		if err := m.Primary.Close(); err != nil && first == nil {
+			first = err
+		}
+		if m.Replica != nil {
+			if err := m.Replica.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// SetTracer implements disk.TracerSetter by forwarding to every member
+// device: traced reads carry each member's own head accounting, which
+// is the physically meaningful view.
+func (r *Router) SetTracer(t *trace.Tracer) {
+	for _, m := range r.members {
+		disk.AttachTracer(m.Primary, t)
+		if m.Replica != nil {
+			disk.AttachTracer(m.Replica, t)
+		}
+	}
+}
+
+// RegisterMetrics implements disk.MetricsRegistrar by registering
+// every member primary under "<dev><index>" (replicas under
+// "<dev><index>r"), mirroring disk.Striped.
+func (r *Router) RegisterMetrics(reg *metrics.Registry, dev string) {
+	for i, m := range r.members {
+		disk.RegisterMetrics(m.Primary, reg, fmt.Sprintf("%s%d", dev, i))
+		if m.Replica != nil {
+			disk.RegisterMetrics(m.Replica, reg, fmt.Sprintf("%s%dr", dev, i))
+		}
+	}
+}
+
+var _ disk.Device = (*Router)(nil)
+var _ disk.CtxReader = (*Router)(nil)

@@ -250,6 +250,11 @@ func runIteration(sc Scenario) (iterResult, error) {
 // fault-free run).
 func verifyRegistry(sc Scenario, e *env, d metrics.Snapshot, got bench.Measured, st assembly.Stats) error {
 	policy := sc.Scheduler.String()
+	if e.shards > 0 {
+		// The sharded backend assembles under the per-shard elevator,
+		// whose name is the operator's policy label.
+		policy = fmt.Sprintf("shard-elevator(%d)", e.shards)
+	}
 	for _, c := range []struct {
 		name string
 		reg  int64
@@ -266,6 +271,22 @@ func verifyRegistry(sc Scenario, e *env, d metrics.Snapshot, got bench.Measured,
 		if c.reg != c.want {
 			return fmt.Errorf("registry disagrees with harness: %s delta %d, harness %d", c.name, c.reg, c.want)
 		}
+	}
+	if len(e.shardLabels) > 0 {
+		// Every member client exports its own net series; summed across
+		// the fleet they must cover every logical page access exactly
+		// once — the router never duplicates or drops an access.
+		accesses := got.Dev.Reads + got.Dev.Writes
+		var sends, recvs int64
+		for _, lbl := range e.shardLabels {
+			sends += d.Value("asm_net_sends_total", "dev", lbl)
+			recvs += d.Value("asm_net_recvs_total", "dev", lbl)
+		}
+		if sends != accesses || recvs != accesses {
+			return fmt.Errorf("registry disagrees with harness: fleet sends/recvs %d/%d, page accesses %d",
+				sends, recvs, accesses)
+		}
+		return nil
 	}
 	if e.netDev != "" {
 		// The client exports net counters instead of disk counters: a

@@ -61,6 +61,10 @@ const (
 	BackendLocal   Backend = "local"   // in-memory simulated disk
 	BackendFile    Backend = "file"    // file-backed device in a temp dir
 	BackendPagesvc Backend = "pagesvc" // in-process page service over TCP loopback
+	// BackendSharded runs an in-process three-shard page-service fleet
+	// behind the rendezvous router, assembled with the per-shard
+	// elevator and shard prefetch (the scheduler key is ignored).
+	BackendSharded Backend = "sharded"
 )
 
 // Scenario is one named benchmark configuration. The zero value is not
@@ -164,10 +168,10 @@ func scenarioFromTable(f *field) Scenario {
 		f.errf("scheduler", "scenario %q: unknown scheduler %q (depth-first, breadth-first, elevator)", sc.Name, s)
 	}
 	switch b := f.str("backend", string(BackendLocal)); Backend(b) {
-	case BackendLocal, BackendFile, BackendPagesvc:
+	case BackendLocal, BackendFile, BackendPagesvc, BackendSharded:
 		sc.Backend = Backend(b)
 	default:
-		f.errf("backend", "scenario %q: unknown backend %q (local, file, pagesvc)", sc.Name, b)
+		f.errf("backend", "scenario %q: unknown backend %q (local, file, pagesvc, sharded)", sc.Name, b)
 	}
 	switch p := f.str("fault_policy", "retry"); p {
 	case "fail":

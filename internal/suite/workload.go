@@ -13,6 +13,7 @@ import (
 	"revelation/internal/metrics"
 	"revelation/internal/object"
 	"revelation/internal/pagesvc"
+	"revelation/internal/shard"
 	"revelation/internal/trace"
 	"revelation/internal/volcano"
 )
@@ -24,7 +25,13 @@ type env struct {
 	db     *gen.Database
 	faulty *disk.Faulty // non-nil when the scenario arms fault/stall knobs
 	netDev string       // metrics label of the pagesvc client, "" otherwise
-	closes []func() error
+	// Sharded backend: the fleet width, the per-member client metric
+	// labels, and the router's page-to-shard assignment (which also
+	// drives the per-shard elevator).
+	shards      int
+	shardLabels []string
+	shardOf     func(disk.PageID) int
+	closes      []func() error
 }
 
 func (e *env) close() {
@@ -85,6 +92,47 @@ func buildEnv(sc Scenario, tr *trace.Tracer, reg *metrics.Registry) (*env, error
 		e.closes = append(e.closes, client.Close)
 		e.netDev = fmt.Sprintf("net%d", pagesvc.DataDev)
 		cfg.Device = client
+	case BackendSharded:
+		// A three-shard fleet: each member is its own in-process page
+		// service, each client labeled so the registry keeps per-shard
+		// series. Closing the router closes the clients (Close is
+		// idempotent, so the individual closers registered on the error
+		// path stay safe).
+		const fleet = 3
+		members := make([]shard.Member, fleet)
+		for i := 0; i < fleet; i++ {
+			srv := pagesvc.NewServer([]disk.Device{disk.New(0)}, pagesvc.ServerConfig{})
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				e.close()
+				return nil, err
+			}
+			e.closes = append(e.closes, srv.Close)
+			label := fmt.Sprintf("net-s%d", i)
+			client, err := pagesvc.Dial(pagesvc.ClientConfig{
+				Primary:  addr,
+				Dev:      pagesvc.DataDev,
+				Tracer:   tr,
+				Registry: reg,
+				Label:    label,
+			})
+			if err != nil {
+				e.close()
+				return nil, err
+			}
+			e.closes = append(e.closes, client.Close)
+			members[i] = shard.Member{Name: fmt.Sprintf("s%d", i), Primary: client}
+			e.shardLabels = append(e.shardLabels, label)
+		}
+		router, err := shard.New(shard.Config{Members: members, Tracer: tr, Registry: reg})
+		if err != nil {
+			e.close()
+			return nil, err
+		}
+		e.closes = append(e.closes, router.Close)
+		e.shards = fleet
+		e.shardOf = router.ShardOf
+		cfg.Device = router
 	default:
 		return nil, fmt.Errorf("suite: unknown backend %q", sc.Backend)
 	}
@@ -113,9 +161,12 @@ func (e *env) armFaults(sc Scenario) {
 	})
 }
 
-// options builds the operator options for the scenario.
-func (sc Scenario) options(tr *trace.Tracer, reg *metrics.Registry) assembly.Options {
-	return assembly.Options{
+// options builds the operator options for the scenario. On the sharded
+// backend the per-shard elevator (with shard prefetch) replaces the
+// configured scheduler: pending references partition by the router's
+// assignment and each lane keeps its own SCAN order.
+func (sc Scenario) options(e *env, tr *trace.Tracer, reg *metrics.Registry) assembly.Options {
+	opts := assembly.Options{
 		Window:          sc.Window,
 		Scheduler:       sc.Scheduler,
 		UseSharingStats: sc.UseSharingStats,
@@ -125,6 +176,11 @@ func (sc Scenario) options(tr *trace.Tracer, reg *metrics.Registry) assembly.Opt
 		Tracer:          tr,
 		Metrics:         reg,
 	}
+	if e.shards > 0 {
+		opts.CustomScheduler = assembly.NewShardElevator(e.shards, e.shardOf)
+		opts.ShardPrefetch = true
+	}
+	return opts
 }
 
 // assembleRoots runs the assembly operator over the given roots and
@@ -134,7 +190,7 @@ func assembleRoots(sc Scenario, e *env, roots []object.OID, tr *trace.Tracer, re
 	for i, r := range roots {
 		items[i] = r
 	}
-	op := assembly.New(volcano.NewSlice(items), e.db.Store, e.db.Template, sc.options(tr, reg))
+	op := assembly.New(volcano.NewSlice(items), e.db.Store, e.db.Template, sc.options(e, tr, reg))
 	n, err := volcano.Count(op)
 	if err != nil {
 		return assembly.Stats{}, err
