@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test test-race race-core chaos-test net-chaos-test shard-chaos-test crash-test fuzz-smoke bench figures suite suite-smoke trace-demo tracez-smoke serve-demo examples cover clean
+.PHONY: all check build vet test test-race race-core chaos-test net-chaos-test shard-chaos-test fleet-chaos-test crash-test fuzz-smoke bench figures suite suite-smoke trace-demo tracez-smoke serve-demo examples cover clean
 
 all: check
 
@@ -49,16 +49,30 @@ net-chaos-test:
 shard-chaos-test:
 	$(GO) test -race -count=2 ./internal/shard
 
+# The fleet control-plane chaos suite under the race detector: kill a
+# member's primary and hold it down until the controller promotes its
+# WAL-shipped replica to writable (epoch-fenced, byte-identical
+# queries, three-way counter agreement), live-reshard a fourth member
+# in mid-query (exactly the rendezvous delta moves), and crash the
+# migrator at every WAL ownership-record write point and check
+# recovery converges to exactly one owner per range. -count=2 reruns
+# for cross-run state leaks.
+fleet-chaos-test:
+	$(GO) test -race -count=2 ./internal/fleet
+
 # The exhaustive crash-point sweep at a heavier workload than the
 # tier-1 default: every write ordinal is crashed twice (clean and
 # torn), recovered, and verified. CRASH_OPS scales the workload.
 crash-test:
 	CRASH_OPS=96 $(GO) test -run TestCrashPointSweep -v ./internal/wal
 
-# A short coverage-guided fuzz of the slotted page, including the
-# corruption op that tries to break the bounds checks.
+# A short coverage-guided fuzz of the slotted page (including the
+# corruption op that tries to break the bounds checks) and of the
+# page-service wire header decoder (malformed frames must error, never
+# panic or over-allocate).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzPageOps -fuzztime=10s ./internal/page
+	$(GO) test -fuzz=FuzzProtoDecode -fuzztime=10s ./internal/pagesvc
 
 # One testing.B bench per paper figure at the repo root, plus the
 # substrate micro-benchmarks in each package.

@@ -8,10 +8,16 @@
 //	asmpaged -addr :7070 -db db.pages -wal db.wal
 //
 // Read replica — keep a local copy current by following the primary's
-// WAL, and serve it with the applied LSN published for the client's
-// failover staleness guard:
+// WAL, and serve it READ-ONLY with the applied LSN published for the
+// client's failover staleness guard:
 //
 //	asmpaged -addr :7071 -db replica.pages -follow primary:7070
+//
+// A replica stays fenced against writes until a fleet controller
+// promotes it (the promote RPC with writable set): it then stops
+// following, serves writes at the bumped fencing epoch, and rejects
+// requests still stamped with the old primary's epoch. -metrics's
+// /statusz reports the live role and epoch.
 //
 // Seed the replica file from a base backup (cp db.pages replica.pages)
 // for fast catch-up; an empty file also converges, it just replays the
@@ -83,6 +89,7 @@ func main() {
 	cfg := pagesvc.ServerConfig{Registry: reg, QTrace: qt}
 
 	var repl *pagesvc.Replica
+	role := "primary"
 	switch {
 	case *follow != "":
 		repl = pagesvc.NewReplica(data, pagesvc.ReplicaConfig{
@@ -94,7 +101,21 @@ func main() {
 		repl.Start()
 		defer repl.Close()
 		cfg.AppliedLSN = repl.AppliedLSN
-		fmt.Printf("asmpaged: replica of %s, resuming after LSN %d\n", *follow, repl.AppliedLSN())
+		// A follower serves reads only; writes are fenced until a fleet
+		// controller promotes it. Promotion to writable stops the
+		// follower loop — the old primary's log is no longer
+		// authoritative once this replica is the write master.
+		cfg.ReadOnly = true
+		cfg.OnPromote = func(epoch uint64, writable bool) {
+			if writable {
+				fmt.Printf("asmpaged: promoted to writable primary at epoch %d, stopping follower\n", epoch)
+				go repl.Close()
+			} else {
+				fmt.Printf("asmpaged: epoch bumped to %d (still read-only)\n", epoch)
+			}
+		}
+		role = "replica"
+		fmt.Printf("asmpaged: read-only replica of %s, resuming after LSN %d\n", *follow, repl.AppliedLSN())
 	case *walPath != "":
 		walDev, err := disk.OpenFile(*walPath, *pageSize)
 		if err != nil {
@@ -105,6 +126,7 @@ func main() {
 		devs = append(devs, walDev)
 		fmt.Printf("asmpaged: primary, %d data pages, %d WAL pages\n", data.NumPages(), walDev.NumPages())
 	default:
+		role = "read-mostly"
 		fmt.Printf("asmpaged: serving %d pages read-mostly (no WAL, no follow)\n", data.NumPages())
 	}
 
@@ -120,12 +142,26 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
 		mux.Handle("/tracez", qtrace.Handler(qt))
+		// /statusz answers the fleet-operator question "who is this
+		// member right now": a promoted replica reports itself a primary
+		// at its bumped epoch.
+		mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			liveRole := role
+			if role == "replica" && !srv.ReadOnly() {
+				liveRole = "promoted primary"
+			}
+			fmt.Fprintf(w, "role: %s\nepoch: %d\npages: %d\n", liveRole, srv.Epoch(), data.NumPages())
+			if repl != nil {
+				fmt.Fprintf(w, "applied lsn: %d\n", repl.AppliedLSN())
+			}
+		})
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "asmpaged: metrics: %v\n", err)
 			}
 		}()
-		fmt.Printf("asmpaged: metrics on %s/metrics, traces on /tracez\n", *metricsAddr)
+		fmt.Printf("asmpaged: metrics on %s/metrics, traces on /tracez, role on /statusz\n", *metricsAddr)
 	}
 
 	stop := make(chan os.Signal, 1)

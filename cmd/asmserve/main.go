@@ -4,6 +4,7 @@
 //	GET /metrics       Prometheus text exposition of every counter
 //	GET /statusz       human-readable snapshot with occupancy sparkline
 //	GET /tracez        recent per-query traces: timelines, critical paths
+//	GET /fleetz        fleet control plane: member health, promotions
 //	GET /query         run one assembly query under a deadline
 //	GET /debug/pprof/  standard Go profiler endpoints
 //
@@ -12,6 +13,7 @@
 //	asmserve [-addr :8091] [-figure faults|fig13c|...] [-scale 0.5]
 //	         [-interval 1s] [-once] [-max-concurrent 4]
 //	         [-query-timeout 5s] [-query-window 10] [-slow-query 500ms]
+//	         [-shards host:7070/host:7071,host:7072] [-promote-after 3s]
 //
 // The workload is one of asmbench's figures, re-run every -interval
 // until the process is interrupted (-once stops after a single pass).
@@ -32,6 +34,13 @@
 // than -slow-query land in its slow-query log plus one stderr line
 // each (DESIGN.md §14).
 //
+// A -shards entry may carry a replica after a slash —
+// primary:7070/replica:7071 — wiring that shard for read failover.
+// With -promote-after set, a fleet controller probes every shard
+// primary and, after that long a sustained outage confirmed by extra
+// jittered probes, promotes the shard's replica to writable primary at
+// a bumped fencing epoch (DESIGN.md §16); /fleetz shows its view.
+//
 //	curl -s localhost:8091/metrics | grep asm_disk
 //	curl -s "localhost:8091/query?deadline=250ms"
 //	curl -s localhost:8091/tracez
@@ -42,6 +51,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,6 +63,7 @@ import (
 	"revelation/internal/bench"
 	"revelation/internal/disk"
 	"revelation/internal/expr"
+	"revelation/internal/fleet"
 	"revelation/internal/gen"
 	"revelation/internal/metrics"
 	"revelation/internal/pagesvc"
@@ -73,7 +84,8 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 5*time.Second, "default /query deadline (?deadline= overrides)")
 	queryWindow := flag.Int("query-window", 10, "assembly window for /query requests")
 	pages := flag.String("pages", "", "comma-separated page-service endpoints, primary first (see cmd/asmpaged); /query pages are restored to and read from the service instead of local memory")
-	shards := flag.String("shards", "", "comma-separated page-service endpoints, one per shard (see cmd/asmpaged); /query pages are spread over the fleet by the rendezvous router and assembled with the per-shard elevator")
+	shards := flag.String("shards", "", "comma-separated page-service endpoints, one per shard, each optionally primary/replica (see cmd/asmpaged); /query pages are spread over the fleet by the rendezvous router and assembled with the per-shard elevator")
+	promoteAfter := flag.Duration("promote-after", 0, "promote a shard's replica after its primary has been unreachable this long (0 disables the fleet controller; needs -shards entries with replicas)")
 	retryBudget := flag.Int("retry-budget", 64, "max I/O retries one /query may spend across all shards combined; 0 disables the budget")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "queries at least this slow land in the /tracez slow-query log and log one line; 0 disables")
 	flag.Parse()
@@ -95,7 +107,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "asmserve: -pages and -shards are mutually exclusive: one service with replicas, or a fleet of shards")
 		os.Exit(2)
 	}
-	queryFn, err := queryWorkload(reg, *scale, *queryWindow, *pages, *shards)
+	queryFn, fleetz, err := queryWorkload(reg, *scale, *queryWindow, *pages, *shards, *promoteAfter)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "asmserve: %v\n", err)
 		os.Exit(2)
@@ -117,6 +129,7 @@ func main() {
 		QueryTimeout:  *queryTimeout,
 		QTrace:        qt,
 		RetryBudget:   *retryBudget,
+		Fleet:         fleetz,
 	})
 	srv.Start()
 	defer srv.Stop()
@@ -159,12 +172,13 @@ func main() {
 }
 
 // queryWorkload generates the /query database and returns the closure
-// that runs one revealed selection query under the request's context.
-// Queries share one store and pool: the store is read-only after build
-// and the pool serializes frame traffic, so concurrent requests are
-// safe — the interesting contention (frames) is what reservations and
-// bounded pin waits manage.
-func queryWorkload(reg *metrics.Registry, scale float64, window int, pages, shards string) (func(ctx context.Context) (string, error), error) {
+// that runs one revealed selection query under the request's context,
+// plus the /fleetz renderer (nil without -shards). Queries share one
+// store and pool: the store is read-only after build and the pool
+// serializes frame traffic, so concurrent requests are safe — the
+// interesting contention (frames) is what reservations and bounded pin
+// waits manage.
+func queryWorkload(reg *metrics.Registry, scale float64, window int, pages, shards string, promoteAfter time.Duration) (func(ctx context.Context) (string, error), func(w io.Writer), error) {
 	size := int(1000 * scale)
 	if size < 100 {
 		size = 100
@@ -176,17 +190,27 @@ func queryWorkload(reg *metrics.Registry, scale float64, window int, pages, shar
 		Seed:              91,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var router *shard.Router
+	var fleetz func(io.Writer)
 	switch {
 	case shards != "":
 		// Spread the generated pages over the fleet by rendezvous
 		// assignment, then reopen the database behind the router: every
 		// /query from here on reads sharded pages, with breakers and the
 		// per-query retry budget governing brown-outs.
-		if db, router, err = pushToShards(reg, db, shards); err != nil {
-			return nil, err
+		var handles *fleetHandles
+		if db, handles, err = pushToShards(reg, db, shards); err != nil {
+			return nil, nil, err
+		}
+		router = handles.router
+		ctrl := startController(reg, handles, promoteAfter)
+		fleetz = func(w io.Writer) {
+			if ctrl != nil {
+				ctrl.WriteStatus(w)
+			}
+			writeShardStatus(w, router)
 		}
 	case pages != "":
 		// Restore the generated pages onto the page service through its
@@ -194,7 +218,7 @@ func queryWorkload(reg *metrics.Registry, scale float64, window int, pages, shar
 		// /query from here on reads remote pages, hedging and failing
 		// over exactly like the test harness.
 		if db, err = pushToService(reg, db, pages); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	db.Pool.RegisterMetrics(reg, "queryserve")
@@ -232,7 +256,87 @@ func queryWorkload(reg *metrics.Registry, scale float64, window int, pages, shar
 		}
 		return fmt.Sprintf("assembled %d of %d complex objects in %s",
 			len(items), len(db.Roots), time.Since(start).Round(time.Millisecond)), nil
-	}, nil
+	}, fleetz, nil
+}
+
+// fleetHandles is what the control plane needs from a shard fleet: the
+// router plus the typed clients behind each member.
+type fleetHandles struct {
+	router    *shard.Router
+	names     []string
+	primaries []*pagesvc.Client
+	replicas  []*pagesvc.Client // nil where the -shards entry had no replica
+}
+
+// startController wires the fleet controller over the shard fleet and
+// runs it in the background, or returns nil when -promote-after is off
+// or no shard has a replica to promote.
+func startController(reg *metrics.Registry, h *fleetHandles, promoteAfter time.Duration) *fleet.Controller {
+	if promoteAfter <= 0 {
+		return nil
+	}
+	promotable := false
+	members := make([]fleet.Member, len(h.names))
+	for i := range h.names {
+		i := i
+		members[i] = fleet.Member{
+			Name:  h.names[i],
+			Probe: h.primaries[i].Ping,
+			Epoch: func() uint64 { return h.router.Epoch(i) },
+		}
+		repl := h.replicas[i]
+		if repl == nil {
+			continue
+		}
+		promotable = true
+		members[i].ReplicaLSN = func() uint64 {
+			lsn, err := repl.AppliedLSN()
+			if err != nil {
+				return 0
+			}
+			return lsn
+		}
+		members[i].Promote = func(epoch uint64) error {
+			// The replica's server goes writable at the new epoch first
+			// (it starts fencing stale-epoch zombies), then the router
+			// flips routing onto it.
+			if err := repl.Promote(epoch, 0, true); err != nil {
+				return err
+			}
+			_, err := h.router.PromoteReplica(i, epoch)
+			if err == nil {
+				fmt.Printf("asmserve: promoted %s's replica to primary at epoch %d\n", h.names[i], epoch)
+			}
+			return err
+		}
+	}
+	if !promotable {
+		fmt.Fprintln(os.Stderr, "asmserve: -promote-after set but no -shards entry has a replica; fleet controller disabled")
+		return nil
+	}
+	ctrl := fleet.NewController(fleet.Config{
+		Members:       members,
+		SustainedLoss: promoteAfter,
+		ProbeJitter:   promoteAfter / 8,
+		Registry:      reg,
+	})
+	go ctrl.Run(promoteAfter / 4)
+	fmt.Printf("asmserve: fleet controller on, promoting after %v sustained loss\n", promoteAfter)
+	return ctrl
+}
+
+// writeShardStatus renders the data plane's half of /fleetz.
+func writeShardStatus(w io.Writer, r *shard.Router) {
+	fmt.Fprintf(w, "shards: %d members, %d pages, %d pending migration\n",
+		r.Shards(), r.NumPages(), r.PendingPages())
+	for i := 0; i < r.Shards(); i++ {
+		replica := "-"
+		if r.HasReplica(i) {
+			replica = fmt.Sprintf("replica@lsn %d", r.ReplicaLSN(i))
+		}
+		fmt.Fprintf(w, "  %-12s epoch %-3d breaker %-8v degraded %-6d trips %-4d %s\n",
+			r.MemberName(i), r.Epoch(i), r.BreakerState(i), r.DegradedReads(i), r.Trips(i), replica)
+	}
 }
 
 // pushToService base-restores db's pages onto the page service at the
@@ -287,30 +391,62 @@ func pushToService(reg *metrics.Registry, db *gen.Database, endpoints string) (*
 // services and reopens the database behind the shard router: the
 // extent is allocated on every member (so page ids line up), but each
 // page is written only to the shard that owns it, and the router never
-// reads a page anywhere else.
-func pushToShards(reg *metrics.Registry, db *gen.Database, endpoints string) (*gen.Database, *shard.Router, error) {
+// reads a page anywhere else. An endpoint written primary/replica
+// wires the replica for degraded reads and controller promotion.
+func pushToShards(reg *metrics.Registry, db *gen.Database, endpoints string) (*gen.Database, *fleetHandles, error) {
 	if err := db.Pool.FlushAll(); err != nil {
 		return nil, nil, err
 	}
 	eps := strings.Split(endpoints, ",")
+	h := &fleetHandles{
+		names:     make([]string, len(eps)),
+		primaries: make([]*pagesvc.Client, len(eps)),
+		replicas:  make([]*pagesvc.Client, len(eps)),
+	}
 	members := make([]shard.Member, len(eps))
 	for i, ep := range eps {
+		primary, replica, _ := strings.Cut(ep, "/")
 		client, err := pagesvc.Dial(pagesvc.ClientConfig{
-			Primary:  ep,
+			Primary:  primary,
 			Dev:      pagesvc.DataDev,
 			Retry:    disk.DefaultRetryPolicy,
 			Registry: reg,
 			Label:    fmt.Sprintf("net-s%d", i),
 		})
 		if err != nil {
-			return nil, nil, fmt.Errorf("shard %d (%s): %w", i, ep, err)
+			return nil, nil, fmt.Errorf("shard %d (%s): %w", i, primary, err)
 		}
-		members[i] = shard.Member{Name: fmt.Sprintf("s%d", i), Primary: client}
+		h.names[i] = fmt.Sprintf("s%d", i)
+		h.primaries[i] = client
+		members[i] = shard.Member{Name: h.names[i], Primary: client}
+		if replica == "" {
+			continue
+		}
+		rc, err := pagesvc.Dial(pagesvc.ClientConfig{
+			Primary:  replica,
+			Dev:      pagesvc.DataDev,
+			Retry:    disk.DefaultRetryPolicy,
+			Registry: reg,
+			Label:    fmt.Sprintf("net-s%dr", i),
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard %d replica (%s): %w", i, replica, err)
+		}
+		h.replicas[i] = rc
+		members[i].Replica = rc
+		members[i].AppliedLSN = func() uint64 {
+			lsn, err := rc.AppliedLSN()
+			if err != nil {
+				return 0
+			}
+			return lsn
+		}
 	}
 	router, err := shard.New(shard.Config{Members: members, Registry: reg})
 	if err != nil {
 		return nil, nil, err
 	}
+	h.router = router
 	if db.Device.PageSize() != router.PageSize() {
 		router.Close()
 		return nil, nil, fmt.Errorf("shard fleet serves %d-byte pages, database has %d", router.PageSize(), db.Device.PageSize())
@@ -348,7 +484,7 @@ func pushToShards(reg *metrics.Registry, db *gen.Database, endpoints string) (*g
 		router.Close()
 		return nil, nil, err
 	}
-	return ndb, router, nil
+	return ndb, h, nil
 }
 
 // workload maps a figure id to a closure running it once.

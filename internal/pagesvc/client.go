@@ -7,6 +7,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"revelation/internal/disk"
@@ -95,6 +96,13 @@ type Client struct {
 	cfg    ClientConfig
 	jitter *disk.Jitter
 
+	// epoch is stamped into every request (protocol v2) when nonzero:
+	// the fleet controller raises it after a promotion so a server
+	// still living in a superseded epoch rejects this client's traffic
+	// — and, symmetrically, a superseded client is rejected by current
+	// servers.
+	epoch atomic.Uint64
+
 	primary  *endpoint
 	replicas []*endpoint
 
@@ -155,7 +163,7 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		r.Attach("asm_net_failovers_total", "Read-routing switches off the primary.", &c.failovers, "dev", dev)
 		r.Attach("asm_net_reconnects_total", "Endpoint connections re-established.", &c.reconnects, "dev", dev)
 	}
-	pages, ps, _, err := c.info(c.primary)
+	pages, ps, _, _, err := c.info(c.primary)
 	if err != nil {
 		return nil, err
 	}
@@ -184,8 +192,62 @@ func jitterSeed(seed int64, addr string) int64 {
 // reply: the applied LSN for a replica-backed server, 0 for a primary.
 // The shard router wires it into its failover staleness guard.
 func (c *Client) AppliedLSN() (uint64, error) {
-	_, _, lsn, err := c.info(c.primary)
+	_, _, lsn, _, err := c.info(c.primary)
 	return lsn, err
+}
+
+// ServerEpoch fetches the primary endpoint's fencing epoch from its
+// Info reply.
+func (c *Client) ServerEpoch() (uint64, error) {
+	_, _, _, epoch, err := c.info(c.primary)
+	return epoch, err
+}
+
+// SetEpoch sets the fencing epoch stamped into every subsequent
+// request. The fleet controller raises it after a promotion; zero
+// (the default) sends unfenced v1-compatible traffic.
+func (c *Client) SetEpoch(epoch uint64) { c.epoch.Store(epoch) }
+
+// Epoch returns the client's current stamped epoch.
+func (c *Client) Epoch() uint64 { return c.epoch.Load() }
+
+// Ping round-trips an empty request to the primary endpoint without
+// retries — the fleet controller's liveness probe. A healthy server
+// answers inside the client timeout; anything else is an error.
+func (c *Client) Ping() error {
+	_, err := c.call(c.primary, opPing, nil, trace.NoPage, c.nextID(), nil)
+	return err
+}
+
+// Promote asks the primary endpoint to adopt a new fencing epoch:
+// writable true promotes a replica server to writable primary (its
+// applied LSN must have reached minLSN, or the refusal is transient
+// and worth retrying as catch-up progresses); writable false fences a
+// server read-only at the epoch (the demotion posture for a returned
+// zombie). The epoch must exceed the server's current one — racing
+// promotions at the same epoch crown exactly one winner, the rest get
+// ErrFenced.
+func (c *Client) Promote(epoch, minLSN uint64, writable bool) error {
+	_, err := c.call(c.primary, opPromote, encodePromote(epoch, minLSN, writable), trace.NoPage, c.nextID(), nil)
+	if err != nil {
+		return err
+	}
+	if !writable {
+		return nil
+	}
+	// The endpoint just became the source of truth; the extent cached
+	// at dial time may predate its base backup (or a restart), and the
+	// client-side range check would refuse pages the server now holds.
+	pages, ps, _, _, err := c.info(c.primary)
+	if err != nil {
+		return nil // promoted; the stale extent heals on the next Allocate
+	}
+	c.mu.Lock()
+	if pages > c.numPages && ps == c.pageSize {
+		c.numPages = pages
+	}
+	c.mu.Unlock()
+	return nil
 }
 
 // connect returns ep's live connection, dialing if needed.
@@ -314,7 +376,7 @@ func (c *Client) call(ep *endpoint, op byte, body []byte, page int64, reqID uint
 		return response{}, err
 	}
 	qid := sp.QID()
-	req := request{op: op, dev: c.cfg.Dev, reqID: reqID, qid: qid, body: body}
+	req := request{op: op, dev: c.cfg.Dev, reqID: reqID, qid: qid, epoch: c.epoch.Load(), body: body}
 	c.sends.Inc()
 	sp.OnNetSend()
 	c.cfg.Tracer.NetQ(trace.KindSend, page, 0, ep.addr, qid)
@@ -364,23 +426,27 @@ func opName(op byte) string {
 		return "ping"
 	case opFollow:
 		return "follow"
+	case opPromote:
+		return "promote"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}
 }
 
-// info fetches device geometry and replication progress from ep.
-func (c *Client) info(ep *endpoint) (pages, pageSize int, appliedLSN uint64, err error) {
+// info fetches device geometry, replication progress, and the fencing
+// epoch from ep.
+func (c *Client) info(ep *endpoint) (pages, pageSize int, appliedLSN, epoch uint64, err error) {
 	resp, err := c.call(ep, opInfo, nil, trace.NoPage, c.nextID(), nil)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, 0, err
 	}
-	if len(resp.body) != 20 {
-		return 0, 0, 0, fmt.Errorf("%w: %d-byte info", ErrBadFrame, len(resp.body))
+	if len(resp.body) != 28 {
+		return 0, 0, 0, 0, fmt.Errorf("%w: %d-byte info", ErrBadFrame, len(resp.body))
 	}
 	return int(binary.LittleEndian.Uint64(resp.body[0:])),
 		int(binary.LittleEndian.Uint32(resp.body[8:])),
-		binary.LittleEndian.Uint64(resp.body[12:]), nil
+		binary.LittleEndian.Uint64(resp.body[12:]),
+		binary.LittleEndian.Uint64(resp.body[20:]), nil
 }
 
 // hedgeDelay decides how long a read may straggle before it is hedged
@@ -454,7 +520,7 @@ func (c *Client) failover(from *endpoint) bool {
 		if ep == from {
 			continue
 		}
-		_, _, applied, err := c.info(ep)
+		_, _, applied, _, err := c.info(ep)
 		if err != nil {
 			continue
 		}

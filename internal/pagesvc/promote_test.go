@@ -1,0 +1,211 @@
+package pagesvc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"revelation/internal/disk"
+	"revelation/internal/wal"
+)
+
+// TestPromoteRefusesMidCatchup: a replica whose Follow stream is still
+// behind the caller's durability floor must refuse promotion — with a
+// transient error, so the controller can retry as catch-up progresses
+// — and accept once its applied LSN clears the floor.
+func TestPromoteRefusesMidCatchup(t *testing.T) {
+	dataDev := disk.New(0)
+	walDev := disk.New(0)
+	w, err := wal.Open(walDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, []disk.Device{dataDev, walDev}, ServerConfig{})
+
+	ps := walDev.PageSize()
+	var floor uint64
+	for i := 0; i < 6; i++ {
+		img := walImage(t, ps, fmt.Sprintf("record %d", i))
+		lsn, err := w.Append(disk.PageID(i), img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		floor = lsn
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replica server exists but its follower has not started: its
+	// applied LSN is pinned at zero, mid-catch-up by construction.
+	replDev := disk.New(0)
+	repl := NewReplica(replDev, ReplicaConfig{Primary: addr, WALDev: WALDev})
+	rsrv, raddr := startServer(t, []disk.Device{replDev}, ServerConfig{
+		AppliedLSN: repl.AppliedLSN,
+		ReadOnly:   true,
+	})
+	rc := dialT(t, ClientConfig{Primary: raddr})
+
+	err = rc.Promote(2, floor, true)
+	if err == nil {
+		t.Fatal("promotion accepted with applied LSN 0 behind floor")
+	}
+	if !disk.Retryable(err) {
+		t.Fatalf("mid-catch-up refusal must be transient, got %v", err)
+	}
+	if rsrv.Epoch() != 0 || !rsrv.ReadOnly() {
+		t.Fatalf("refused promotion mutated server state: epoch %d, readOnly %v", rsrv.Epoch(), rsrv.ReadOnly())
+	}
+
+	// Catch up, then promote for real.
+	done := repl.Start()
+	defer func() {
+		repl.Close()
+		<-done
+	}()
+	waitApplied(t, repl, floor)
+	if err := rc.Promote(2, floor, true); err != nil {
+		t.Fatalf("promotion after catch-up: %v", err)
+	}
+	if rsrv.Epoch() != 2 || rsrv.ReadOnly() {
+		t.Fatalf("promoted server: epoch %d, readOnly %v, want 2, false", rsrv.Epoch(), rsrv.ReadOnly())
+	}
+}
+
+// TestPromoteDoubleRace: two controllers racing to promote the same
+// replica at the same epoch must crown exactly one winner; the loser
+// sees a fenced (non-retryable) error. Run under -race this also
+// checks the promote path's synchronization.
+func TestPromoteDoubleRace(t *testing.T) {
+	replDev := disk.New(4)
+	srv, addr := startServer(t, []disk.Device{replDev}, ServerConfig{ReadOnly: true})
+
+	const racers = 4
+	errs := make([]error, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(ClientConfig{Primary: addr})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			errs[i] = c.Promote(7, 0, true)
+		}(i)
+	}
+	wg.Wait()
+
+	winners := 0
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			winners++
+		case errors.Is(err, ErrFenced):
+			if disk.Retryable(err) {
+				t.Errorf("racer %d: fenced error must not be retryable: %v", i, err)
+			}
+		default:
+			t.Errorf("racer %d: unexpected error %v", i, err)
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("%d promotion winners, want exactly 1", winners)
+	}
+	if srv.Epoch() != 7 {
+		t.Fatalf("server epoch %d, want 7", srv.Epoch())
+	}
+}
+
+// TestFencingRejectsZombieWrites: after the fleet moves to a new epoch,
+// a returned old primary is fenced read-only — its late writes (and a
+// stale router's epoch-stamped traffic) are rejected with ErrFenced,
+// while reads keep working.
+func TestFencingRejectsZombieWrites(t *testing.T) {
+	dev := disk.New(4)
+	srv, addr := startServer(t, []disk.Device{dev}, ServerConfig{})
+	c := dialT(t, ClientConfig{Primary: addr})
+	ps := c.PageSize()
+	buf := make([]byte, ps)
+
+	// Healthy at epoch 0: writes land.
+	if err := c.WritePage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The control plane fences the zombie at epoch 3 (writable=false).
+	if err := c.Promote(3, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Epoch() != 3 || !srv.ReadOnly() {
+		t.Fatalf("fenced server: epoch %d, readOnly %v", srv.Epoch(), srv.ReadOnly())
+	}
+
+	// A zombie's late write — it still thinks it owns the shard.
+	err := c.WritePage(0, buf)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("zombie write = %v, want ErrFenced", err)
+	}
+	if disk.Retryable(err) {
+		t.Fatalf("fenced write must not be retryable: %v", err)
+	}
+	if _, err := c.Allocate(1); !errors.Is(err, ErrFenced) {
+		t.Fatalf("zombie alloc = %v, want ErrFenced", err)
+	}
+	// Reads still serve (the fenced node remains a usable replica).
+	if err := c.ReadPage(0, buf); err != nil {
+		t.Fatalf("read from fenced server: %v", err)
+	}
+
+	// A request stamped with a superseded epoch is rejected even as a
+	// read: the sender's routing table predates the promotion.
+	stale := dialT(t, ClientConfig{Primary: addr})
+	stale.SetEpoch(2)
+	if err := stale.ReadPage(0, buf); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale-epoch read = %v, want ErrFenced", err)
+	}
+	// Stamping the current epoch is fine.
+	stale.SetEpoch(3)
+	if err := stale.ReadPage(0, buf); err != nil {
+		t.Fatalf("current-epoch read: %v", err)
+	}
+}
+
+// TestPromoteRefreshesExtent: a client dialed while the replica's
+// device was small (or empty — before its base backup landed) caches
+// that extent and refuses larger page ids locally. Promotion makes the
+// endpoint the source of truth, so it must re-fetch the extent; a page
+// the server gained since dial time is readable immediately after.
+func TestPromoteRefreshesExtent(t *testing.T) {
+	dev := disk.New(0)
+	srv, addr := startServer(t, []disk.Device{dev}, ServerConfig{ReadOnly: true})
+	c := dialT(t, ClientConfig{Primary: addr})
+	if got := c.NumPages(); got != 0 {
+		t.Fatalf("extent at dial = %d, want 0", got)
+	}
+
+	// The base backup arrives behind the client's back.
+	if _, err := dev.Allocate(8); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, dev.PageSize())
+	if err := c.ReadPage(5, buf); err == nil {
+		t.Fatal("stale extent should refuse page 5 before promotion")
+	}
+
+	if err := c.Promote(1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if srv.ReadOnly() {
+		t.Fatal("server still read-only after promotion")
+	}
+	if got := c.NumPages(); got != 8 {
+		t.Fatalf("extent after promotion = %d, want 8", got)
+	}
+	if err := c.ReadPage(5, buf); err != nil {
+		t.Fatalf("read after promotion: %v", err)
+	}
+}

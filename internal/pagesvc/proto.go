@@ -32,12 +32,19 @@ import (
 
 // Operation codes (request frames).
 const (
-	opRead   = byte(1) // body: [4B page]            -> OK body: page image
-	opWrite  = byte(2) // body: [4B page][image]     -> OK body: empty
-	opAlloc  = byte(3) // body: [4B n]               -> OK body: [4B first]
-	opInfo   = byte(4) // body: empty                -> OK body: [8B pages][4B pageSize][8B appliedLSN]
-	opPing   = byte(5) // body: empty                -> OK body: empty
-	opFollow = byte(6) // body: [8B fromLSN]         -> stream of stream frames
+	opRead    = byte(1) // body: [4B page]            -> OK body: page image
+	opWrite   = byte(2) // body: [4B page][image]     -> OK body: empty
+	opAlloc   = byte(3) // body: [4B n]               -> OK body: [4B first]
+	opInfo    = byte(4) // body: empty                -> OK body: [8B pages][4B pageSize][8B appliedLSN][8B epoch]
+	opPing    = byte(5) // body: empty                -> OK body: empty
+	opFollow  = byte(6) // body: [8B fromLSN]         -> stream of stream frames
+	opPromote = byte(7) // body: [8B epoch][8B minLSN][1B mode] -> OK body: [8B epoch]
+)
+
+// Promote modes (the opPromote body's last byte).
+const (
+	promoteFence    = byte(0) // adopt the epoch and refuse writes (demote/fence)
+	promoteWritable = byte(1) // adopt the epoch and accept writes (promote)
 )
 
 // Response status codes.
@@ -54,22 +61,32 @@ const (
 	classTransient = byte(0) // wraps disk.ErrTransient on arrival
 	classPermanent = byte(1) // wraps disk.ErrPermanent
 	classOther     = byte(2) // wrapped verbatim, not retryable
+	classFenced    = byte(3) // wraps ErrFenced + disk.ErrPermanent: stale epoch
 )
+
+// ErrFenced reports a request rejected by epoch fencing: the sender's
+// view of the shard is stale (an old primary's late write after a
+// promotion, or a request stamped with a superseded epoch). It is
+// permanent by construction — retrying the same request cannot help,
+// the caller must learn the new fleet state first.
+var ErrFenced = errors.New("pagesvc: fenced")
 
 // reqHdrSize is the fixed request header: [1B op][1B dev][8B reqID].
 const reqHdrSize = 10
 
 // opQIDFlag marks an extended request header (protocol v2): when the
-// high bit of the op byte is set, 8 more bytes of query id follow the
-// base header, attributing the request to a query span on the server.
+// high bit of the op byte is set, 16 more bytes follow the base header
+// — a query id attributing the request to a query span on the server,
+// and the sender's fencing epoch (0 = unfenced, pre-fleet traffic).
 // Requests without the flag are the v1 wire format byte for byte, so
 // old clients keep working against new servers and vice versa — a v1
 // server would reject flagged ops as unknown, which the v2 client
-// avoids by flagging only when a query id is actually present.
+// avoids by flagging only when a query id or epoch is actually present.
 const opQIDFlag = byte(0x80)
 
-// reqHdrSizeQ is the extended header: [1B op|flag][1B dev][8B reqID][8B qid].
-const reqHdrSizeQ = reqHdrSize + 8
+// reqHdrSizeQ is the extended header:
+// [1B op|flag][1B dev][8B reqID][8B qid][8B epoch].
+const reqHdrSizeQ = reqHdrSize + 16
 
 // respHdrSize is the fixed response header: [1B status][8B reqID].
 const respHdrSize = 9
@@ -82,12 +99,14 @@ const maxFrame = 1 << 22
 var ErrBadFrame = errors.New("pagesvc: malformed frame")
 
 // request is a decoded request frame. qid is the originating query id
-// (0 = unattributed, encoded as a v1 frame).
+// and epoch the sender's fencing epoch (both 0 = unattributed,
+// unfenced, encoded as a v1 frame).
 type request struct {
 	op    byte
 	dev   byte
 	reqID uint64
 	qid   uint64
+	epoch uint64
 	body  []byte
 }
 
@@ -127,20 +146,22 @@ func readFrame(r io.Reader) ([]byte, error) {
 }
 
 // encodeRequest frames a request for the wire: the v1 10-byte header,
-// extended with the query id (and flagged op byte) only when one is
-// set, so unattributed traffic stays wire-identical to v1.
+// extended with the query id and epoch (and flagged op byte) only when
+// one is set, so unattributed unfenced traffic stays wire-identical to
+// v1.
 func encodeRequest(req request) []byte {
 	hdr := reqHdrSize
-	if req.qid != 0 {
+	if req.qid != 0 || req.epoch != 0 {
 		hdr = reqHdrSizeQ
 	}
 	p := make([]byte, hdr+len(req.body))
 	p[0] = req.op
 	p[1] = req.dev
 	binary.LittleEndian.PutUint64(p[2:], req.reqID)
-	if req.qid != 0 {
+	if hdr == reqHdrSizeQ {
 		p[0] |= opQIDFlag
 		binary.LittleEndian.PutUint64(p[reqHdrSize:], req.qid)
+		binary.LittleEndian.PutUint64(p[reqHdrSize+8:], req.epoch)
 	}
 	copy(p[hdr:], req.body)
 	return p
@@ -163,6 +184,7 @@ func decodeRequest(p []byte) (request, error) {
 		}
 		req.op &^= opQIDFlag
 		req.qid = binary.LittleEndian.Uint64(p[reqHdrSize:])
+		req.epoch = binary.LittleEndian.Uint64(p[reqHdrSize+8:])
 		req.body = p[reqHdrSizeQ:]
 	} else {
 		req.body = p[reqHdrSize:]
@@ -196,6 +218,8 @@ func decodeResponse(p []byte) (response, error) {
 func encodeErr(err error) []byte {
 	class := classOther
 	switch {
+	case errors.Is(err, ErrFenced):
+		class = classFenced
 	case errors.Is(err, disk.ErrTransient):
 		class = classTransient
 	case errors.Is(err, disk.ErrPermanent):
@@ -219,9 +243,38 @@ func decodeErr(body []byte) error {
 		return fmt.Errorf("pagesvc: %s: %w", msg, disk.ErrTransient)
 	case classPermanent:
 		return fmt.Errorf("pagesvc: %s: %w", msg, disk.ErrPermanent)
+	case classFenced:
+		// Fenced is permanent: the request is from a superseded view of
+		// the fleet and retrying it verbatim can never succeed.
+		return fmt.Errorf("pagesvc: %s: %w: %w", msg, ErrFenced, disk.ErrPermanent)
 	default:
 		return fmt.Errorf("pagesvc: remote error: %s", msg)
 	}
+}
+
+// encodePromote builds an opPromote body: the epoch to adopt, the
+// applied-LSN floor the server must have reached, and the mode.
+func encodePromote(epoch, minLSN uint64, writable bool) []byte {
+	body := make([]byte, 17)
+	binary.LittleEndian.PutUint64(body[0:], epoch)
+	binary.LittleEndian.PutUint64(body[8:], minLSN)
+	if writable {
+		body[16] = promoteWritable
+	}
+	return body
+}
+
+// decodePromote parses an opPromote body.
+func decodePromote(body []byte) (epoch, minLSN uint64, writable bool, err error) {
+	if len(body) != 17 {
+		return 0, 0, false, fmt.Errorf("%w: %d-byte promote body", ErrBadFrame, len(body))
+	}
+	if body[16] > promoteWritable {
+		return 0, 0, false, fmt.Errorf("%w: promote mode %d", ErrBadFrame, body[16])
+	}
+	return binary.LittleEndian.Uint64(body[0:]),
+		binary.LittleEndian.Uint64(body[8:]),
+		body[16] == promoteWritable, nil
 }
 
 // netErr wraps a connection-level failure (dial, write, read, timeout)

@@ -225,6 +225,16 @@ func (r *Replica) followOnce() error {
 // base backup already carried — count as reapplied no-ops, which is
 // exactly what makes crashing mid-Follow and resuming safe.
 func (r *Replica) apply(lsn uint64, page disk.PageID, img []byte, buf []byte) error {
+	if len(img) == 0 {
+		// A watermark-only record (an ownership/cutover record on the
+		// primary's log): nothing to install, but the applied LSN must
+		// advance past it.
+		if lsn > r.applied.Load() {
+			r.applied.Store(lsn)
+			r.appliedLSN.Set(int64(lsn))
+		}
+		return nil
+	}
 	if len(img) != r.dev.PageSize() {
 		return fmt.Errorf("%w: %d-byte image for %d-byte pages", ErrBadFrame, len(img), r.dev.PageSize())
 	}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"revelation/internal/disk"
@@ -44,6 +45,21 @@ type ServerConfig struct {
 	// /tracez shows per-query timelines even though queries begin and
 	// end on the client. Nil disables server-side attribution.
 	QTrace *qtrace.Collector
+	// Epoch is the server's initial fencing epoch. Requests stamped
+	// with a lower (nonzero) epoch are rejected as fenced; a Promote
+	// carrying a higher epoch ratchets it. Zero is the pre-fleet epoch:
+	// it fences nothing.
+	Epoch uint64
+	// ReadOnly starts the server refusing writes and allocations with a
+	// fenced error — the posture of a replica (its device is written by
+	// the Follow apply path, never by clients) and of a demoted
+	// ex-primary. A Promote with the writable mode lifts it.
+	ReadOnly bool
+	// OnPromote, when set, is called after a Promote is accepted, with
+	// the adopted epoch and whether the server is now writable. A
+	// replica daemon uses it to stop its Follow loop: a promoted
+	// primary must not keep applying a dead predecessor's log.
+	OnPromote func(epoch uint64, writable bool)
 }
 
 // Server owns a listener and serves page requests for a fixed set of
@@ -54,6 +70,13 @@ type Server struct {
 	devs []disk.Device
 	cfg  ServerConfig
 
+	// epoch and readOnly are the fencing state; promoteMu serializes
+	// Promote decisions so racing promotions see a consistent
+	// epoch-compare-and-adopt (exactly one winner per epoch value).
+	epoch     atomic.Uint64
+	readOnly  atomic.Bool
+	promoteMu sync.Mutex
+
 	ln     net.Listener
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
@@ -63,7 +86,8 @@ type Server struct {
 	accepted  metrics.Counter // connections accepted
 	requests  metrics.Counter
 	errs      metrics.Counter
-	followers metrics.Gauge // Follow streams currently live
+	fenced    metrics.Counter // requests rejected by epoch fencing
+	followers metrics.Gauge   // Follow streams currently live
 }
 
 // NewServer builds a server for devs (addressed by index on the wire).
@@ -73,10 +97,13 @@ func NewServer(devs []disk.Device, cfg ServerConfig) *Server {
 		cfg.FollowPoll = 2 * time.Millisecond
 	}
 	s := &Server{devs: devs, cfg: cfg, conns: map[net.Conn]bool{}}
+	s.epoch.Store(cfg.Epoch)
+	s.readOnly.Store(cfg.ReadOnly)
 	if r := cfg.Registry; r != nil {
 		r.Attach("asm_pagesvc_conns_total", "Page-service connections accepted.", &s.accepted)
 		r.Attach("asm_pagesvc_requests_total", "Page-service requests handled.", &s.requests)
 		r.Attach("asm_pagesvc_request_errors_total", "Page-service requests that failed.", &s.errs)
+		r.Attach("asm_pagesvc_fenced_total", "Requests rejected by epoch fencing.", &s.fenced)
 		r.Attach("asm_pagesvc_followers", "Live WAL follow streams.", &s.followers)
 	}
 	return s
@@ -101,6 +128,12 @@ func (s *Server) Listen(addr string) (string, error) {
 	go s.acceptLoop(ln)
 	return ln.Addr().String(), nil
 }
+
+// Epoch returns the server's current fencing epoch.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// ReadOnly reports whether the server currently refuses writes.
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
 
 // Addr returns the bound address, or "" before Listen.
 func (s *Server) Addr() string {
@@ -184,6 +217,11 @@ func (s *Server) serveConn(c net.Conn) {
 		}
 		req, err := decodeRequest(payload)
 		if err != nil {
+			// A malformed frame poisons the whole stream (framing state
+			// is gone): answer with a classified error — reqID 0, since
+			// the real id is unrecoverable — then close the connection.
+			s.errs.Inc()
+			w.send(encodeResponse(response{status: stErr, body: encodeErr(err)}))
 			return
 		}
 		if req.op == opFollow {
@@ -224,6 +262,25 @@ func (s *Server) reqSpan(req request, name string) (*qtrace.Span, context.Contex
 func (s *Server) handle(req request) response {
 	fail := func(err error) response {
 		return response{status: stErr, reqID: req.reqID, body: encodeErr(err)}
+	}
+	// Epoch fencing, checked before any device work. A request stamped
+	// with an older (nonzero) epoch is from a superseded view of the
+	// fleet — a router that has not heard about a promotion yet — and
+	// is rejected outright; stamping the current epoch is fine, and a
+	// zero stamp is legacy unfenced traffic.
+	if cur := s.epoch.Load(); req.epoch != 0 && req.epoch < cur {
+		s.fenced.Inc()
+		return fail(fmt.Errorf("pagesvc: request epoch %d superseded by %d: %w", req.epoch, cur, ErrFenced))
+	}
+	if req.op == opPromote {
+		return s.handlePromote(req)
+	}
+	// A read-only server (replica, or a fenced ex-primary) refuses all
+	// mutations: this is what rejects a zombie primary's late writes
+	// after the fleet has moved on without it.
+	if s.readOnly.Load() && (req.op == opWrite || req.op == opAlloc) {
+		s.fenced.Inc()
+		return fail(fmt.Errorf("pagesvc: read-only at epoch %d: %w", s.epoch.Load(), ErrFenced))
 	}
 	if int(req.dev) >= len(s.devs) {
 		return fail(fmt.Errorf("pagesvc: no device %d", req.dev))
@@ -269,16 +326,59 @@ func (s *Server) handle(req request) response {
 		if s.cfg.AppliedLSN != nil {
 			applied = s.cfg.AppliedLSN()
 		}
-		body := make([]byte, 20)
+		body := make([]byte, 28)
 		binary.LittleEndian.PutUint64(body[0:], uint64(dev.NumPages()))
 		binary.LittleEndian.PutUint32(body[8:], uint32(dev.PageSize()))
 		binary.LittleEndian.PutUint64(body[12:], applied)
+		binary.LittleEndian.PutUint64(body[20:], s.epoch.Load())
 		return response{status: stOK, reqID: req.reqID, body: body}
 	case opPing:
 		return response{status: stOK, reqID: req.reqID}
 	default:
 		return fail(fmt.Errorf("pagesvc: unknown op %d", req.op))
 	}
+}
+
+// handlePromote runs the epoch compare-and-adopt under promoteMu so
+// racing promotions are decided in one place: the first promotion to
+// present a given epoch wins it, every later arrival of the same (or a
+// lower) epoch is fenced — a double promotion has exactly one winner.
+// A promotion is also refused (transiently — the controller retries as
+// catch-up progresses) while the server's applied LSN is behind the
+// caller's floor: promoting a replica that has not absorbed every
+// durable write would lose data the client was promised.
+func (s *Server) handlePromote(req request) response {
+	fail := func(err error) response {
+		return response{status: stErr, reqID: req.reqID, body: encodeErr(err)}
+	}
+	epoch, minLSN, writable, err := decodePromote(req.body)
+	if err != nil {
+		return fail(err)
+	}
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if cur := s.epoch.Load(); epoch <= cur {
+		s.fenced.Inc()
+		return fail(fmt.Errorf("pagesvc: promote epoch %d not above current %d: %w", epoch, cur, ErrFenced))
+	}
+	if minLSN > 0 {
+		var applied uint64
+		if s.cfg.AppliedLSN != nil {
+			applied = s.cfg.AppliedLSN()
+		}
+		if applied < minLSN {
+			return fail(fmt.Errorf("pagesvc: promote: applied LSN %d behind floor %d: %w",
+				applied, minLSN, disk.ErrTransient))
+		}
+	}
+	s.epoch.Store(epoch)
+	s.readOnly.Store(!writable)
+	if s.cfg.OnPromote != nil {
+		s.cfg.OnPromote(epoch, writable)
+	}
+	var body [8]byte
+	binary.LittleEndian.PutUint64(body[:], epoch)
+	return response{status: stOK, reqID: req.reqID, body: body[:]}
 }
 
 // serveFollow streams WAL records from the requested device, starting
@@ -321,6 +421,15 @@ func (s *Server) serveFollow(w *connWriter, req request) {
 			continue
 		}
 		if rec.LSN <= fromLSN {
+			continue
+		}
+		if rec.Kind == wal.RecOwnership {
+			// Cutover records carry no page image; ship a watermark-only
+			// frame so the follower's applied LSN still advances past
+			// them (a stalled watermark would wedge the staleness guard).
+			if err := w.send(encodeStreamRecord(req.reqID, rec.LSN, 0, nil)); err != nil {
+				return
+			}
 			continue
 		}
 		if err := w.send(encodeStreamRecord(req.reqID, rec.LSN, rec.Page, rec.Img)); err != nil {

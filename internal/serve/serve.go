@@ -5,15 +5,18 @@
 // and GET /query (when a Query function is wired) executes one query
 // under a per-request deadline behind a concurrency limiter — overload
 // answers 503 immediately instead of queueing into a hang, an expired
-// deadline answers 504. cmd/asmserve wires a benchmark workload to
-// this package; anything else holding a *metrics.Registry can do the
-// same.
+// deadline answers 504. GET /fleetz (when a Fleet renderer is wired)
+// shows the control plane's view of the shard fleet: member health,
+// promotions, resharding progress. cmd/asmserve wires a benchmark
+// workload to this package; anything else holding a *metrics.Registry
+// can do the same.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -64,6 +67,11 @@ type Options struct {
 	// shard degrades that query instead of letting unbounded retries
 	// hold its slot. Zero means no budget (retry policies alone govern).
 	RetryBudget int
+	// Fleet, when non-nil, renders the fleet control plane's status
+	// (controller health, promotions, resharding progress) and mounts
+	// it on GET /fleetz. Wire it to fleet.Controller.WriteStatus and
+	// friends.
+	Fleet func(w io.Writer)
 }
 
 // maxSamples bounds the occupancy ring; when full, the oldest half is
@@ -123,6 +131,12 @@ func (s *Server) Handler() http.Handler {
 	if s.opts.Query != nil {
 		mux.HandleFunc("/query", s.query)
 	}
+	if s.opts.Fleet != nil {
+		mux.HandleFunc("/fleetz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			s.opts.Fleet(w)
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -133,7 +147,7 @@ func (s *Server) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "asmserve: /metrics /statusz /tracez /debug/pprof/")
+		fmt.Fprintln(w, "asmserve: /metrics /statusz /tracez /fleetz /debug/pprof/")
 	})
 	return mux
 }

@@ -228,3 +228,30 @@ func TestRootAndNotFound(t *testing.T) {
 		t.Errorf("unknown path: status %d, want 404", resp.StatusCode)
 	}
 }
+
+func TestFleetzEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(Options{
+		Registry: reg,
+		Fleet: func(w io.Writer) {
+			io.WriteString(w, "fleet: 3 members, 1 promotions\n")
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body, resp := get(t, ts.URL+"/fleetz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "fleet: 3 members, 1 promotions") {
+		t.Errorf("/fleetz body = %q", body)
+	}
+
+	// Without a Fleet renderer the route does not exist.
+	s2 := New(Options{Registry: metrics.NewRegistry()})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if _, resp := get(t, ts2.URL+"/fleetz"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unwired /fleetz answered %d, want 404", resp.StatusCode)
+	}
+}

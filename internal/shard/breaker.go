@@ -160,6 +160,19 @@ func (b *Breaker) Record(ok bool) {
 	}
 }
 
+// Reset forces the breaker closed with its counters cleared (the trip
+// history is kept). The router calls it when a shard's replica is
+// promoted: the new primary deserves a clean health record rather than
+// inheriting the dead primary's open breaker.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	b.state = Closed
+	b.fails = 0
+	b.successes = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
 func (b *Breaker) trip() {
 	b.state = Open
 	b.openedAt = b.cfg.Clock()

@@ -380,7 +380,7 @@ func TestShardChaosKillPrimaryMidQuery(t *testing.T) {
 			t.Errorf("registry trips for %s = %d, breaker says %d", name, got, router.Trips(i))
 		}
 	}
-	if got := snap.Value("asm_shard_budget_exhausted_total"); got != 0 {
+	if got := snap.Sum("asm_shard_budget_exhausted_total"); got != 0 {
 		t.Errorf("budget exhausted %d times under a generous budget, want 0", got)
 	}
 
@@ -577,7 +577,7 @@ func TestShardNoReplicaSkipObjectPoisonedSet(t *testing.T) {
 		t.Errorf("budget remaining = %d, want 0", got)
 	}
 	snap := reg.Snapshot()
-	if got := snap.Value("asm_shard_budget_exhausted_total"); got < 1 {
+	if got := snap.Sum("asm_shard_budget_exhausted_total"); got < 1 {
 		t.Errorf("budget exhaustions = %d, want >= 1", got)
 	}
 	var degraded int64

@@ -1,0 +1,262 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"revelation/internal/disk"
+	"revelation/internal/metrics"
+)
+
+// TestMemberErrorAttribution checks that budget-exhausted and
+// breaker-open failures name the shard they happened on — structurally,
+// via MemberError — and that the budget counter carries the shard
+// label.
+func TestMemberErrorAttribution(t *testing.T) {
+	reg := metrics.NewRegistry()
+	good := disk.New(4)
+	bad := disk.NewFaulty(disk.New(4), disk.FaultConfig{})
+	fillPages(t, good, 0)
+	fillPages(t, bad, 0)
+	bad.SetConfig(disk.FaultConfig{Seed: 3, TransientRate: 1, TransientFailures: 1 << 30})
+	r, err := New(Config{
+		Members: []Member{
+			{Name: "healthy", Primary: good},
+			{Name: "sick", Primary: bad},
+		},
+		Breaker:  BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Hour},
+		Retry:    disk.RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer r.Close()
+
+	// Find a page owned by the sick member.
+	sick := r.MemberIndex("sick")
+	var p disk.PageID
+	for ; r.ShardOf(p) != sick; p++ {
+	}
+
+	buf := make([]byte, r.PageSize())
+	ctx := WithBudget(context.Background(), NewBudget(1))
+	err = r.ReadPageCtx(ctx, p, buf)
+	if err == nil {
+		t.Fatal("read through an all-transient shard succeeded")
+	}
+	var me *MemberError
+	if !errors.As(err, &me) || me.Member != "sick" {
+		t.Fatalf("budget-exhausted error = %v, want a MemberError naming \"sick\"", err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Value("asm_shard_budget_exhausted_total", "shard", "sick"); got != 1 {
+		t.Errorf("budget counter for sick = %d, want 1", got)
+	}
+	if got := snap.Value("asm_shard_budget_exhausted_total", "shard", "healthy"); got != 0 {
+		t.Errorf("budget counter for healthy = %d, want 0", got)
+	}
+
+	// The first failure tripped the breaker (threshold 1); with no
+	// replica, the next access is a breaker-open refusal that must also
+	// name the shard.
+	err = r.ReadPageCtx(context.Background(), p, buf)
+	if err == nil {
+		t.Fatal("breaker-open read succeeded")
+	}
+	me = nil
+	if !errors.As(err, &me) || me.Member != "sick" {
+		t.Fatalf("breaker-open error = %v, want a MemberError naming \"sick\"", err)
+	}
+	if !errors.Is(err, ErrShardDown) || !disk.Retryable(err) {
+		t.Fatalf("breaker-open error = %v, want ErrShardDown wrapping a transient", err)
+	}
+}
+
+// TestPromoteReplicaFlipsWriteMaster walks a promotion end to end: the
+// replica becomes the write master at the new epoch, the breaker
+// resets, and stale or replica-less promotions are refused.
+func TestPromoteReplicaFlipsWriteMaster(t *testing.T) {
+	prim := disk.NewFaulty(disk.New(4), disk.FaultConfig{})
+	repl := disk.New(4)
+	fillPages(t, prim, 0)
+	fillPages(t, repl, 0)
+	r, err := New(Config{
+		Members: []Member{{Name: "s0", Primary: prim, Replica: repl}},
+		Breaker: BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Hour},
+		Retry:   disk.RetryPolicy{MaxAttempts: 1},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer r.Close()
+
+	// Kill the primary and trip the breaker with one failed write.
+	prim.SetConfig(disk.FaultConfig{Seed: 9, TransientRate: 1, TransientFailures: 1 << 30, Writes: true})
+	buf := make([]byte, r.PageSize())
+	if err := r.WritePage(0, buf); err == nil {
+		t.Fatal("write to a dead primary succeeded")
+	}
+	if got := r.BreakerState(0); got != Open {
+		t.Fatalf("breaker = %v, want open", got)
+	}
+
+	old, err := r.PromoteReplica(0, 2)
+	if err != nil {
+		t.Fatalf("PromoteReplica: %v", err)
+	}
+	if old != prim {
+		t.Error("PromoteReplica did not hand back the demoted primary")
+	}
+	if got := r.Epoch(0); got != 2 {
+		t.Errorf("epoch = %d, want 2", got)
+	}
+	if got := r.BreakerState(0); got != Closed {
+		t.Errorf("breaker after promotion = %v, want closed (clean record)", got)
+	}
+	if r.HasReplica(0) {
+		t.Error("promoted shard still reports a replica")
+	}
+
+	// Writes now land on the old replica device.
+	for i := range buf {
+		buf[i] = 0xAB
+	}
+	if err := r.WritePage(1, buf); err != nil {
+		t.Fatalf("write after promotion: %v", err)
+	}
+	got := make([]byte, r.PageSize())
+	if err := repl.ReadPage(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xAB {
+		t.Error("post-promotion write did not land on the promoted device")
+	}
+
+	// A stale or equal epoch must not win; nor can a shard with no
+	// replica promote again.
+	if _, err := r.PromoteReplica(0, 2); err == nil {
+		t.Error("re-promotion at the same epoch succeeded")
+	}
+	var me *MemberError
+	if _, err := r.PromoteReplica(0, 9); !errors.As(err, &me) || me.Member != "s0" {
+		t.Errorf("promotion without a replica = %v, want MemberError for s0", err)
+	}
+}
+
+// TestAddMemberPendingRouting checks the live-reshard routing contract:
+// joining a member moves exactly the rendezvous delta, those pages keep
+// routing to their old owners until cut over, fenced writes stall
+// transiently, and cutover flips routing atomically.
+func TestAddMemberPendingRouting(t *testing.T) {
+	const pages = 512
+	names := []string{"alpha", "bravo", "charlie"}
+	ms := make([]Member, len(names))
+	for i, n := range names {
+		ms[i] = Member{Name: n, Primary: disk.New(pages)}
+	}
+	r, err := New(Config{Members: ms, Retry: disk.RetryPolicy{MaxAttempts: 1}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer r.Close()
+
+	before := make([]int, pages)
+	for p := 0; p < pages; p++ {
+		before[p] = r.ShardOf(disk.PageID(p))
+	}
+
+	newDev := disk.New(0)
+	delta, err := r.AddMember(Member{Name: "delta", Primary: newDev})
+	if err != nil {
+		t.Fatalf("AddMember: %v", err)
+	}
+	if newDev.NumPages() != pages {
+		t.Errorf("joining member grew to %d pages, want %d", newDev.NumPages(), pages)
+	}
+	if len(delta) == 0 || len(delta) > pages/2 {
+		t.Fatalf("delta = %d pages of %d, want a ≈1/4 share", len(delta), pages)
+	}
+	if got := r.PendingPages(); got != len(delta) {
+		t.Errorf("PendingPages = %d, want %d", got, len(delta))
+	}
+
+	// The delta is exactly the set whose rendezvous owner changed, and
+	// every one still ROUTES to its pre-join owner.
+	newIdx := r.MemberIndex("delta")
+	inDelta := map[disk.PageID]bool{}
+	for _, p := range delta {
+		inDelta[p] = true
+	}
+	for p := 0; p < pages; p++ {
+		id := disk.PageID(p)
+		if inDelta[id] {
+			if got := r.RendezvousOwner(id); got != newIdx {
+				t.Fatalf("delta page %d rendezvous owner = %d, want the newcomer", p, got)
+			}
+			if got := r.ShardOf(id); got != before[p] {
+				t.Fatalf("pending page %d routes to %d, want old owner %d", p, got, before[p])
+			}
+		} else {
+			if got := r.ShardOf(id); got != before[p] {
+				t.Fatalf("non-delta page %d moved %d -> %d on join", p, before[p], got)
+			}
+			if got := r.RendezvousOwner(id); got == newIdx {
+				t.Fatalf("page %d owed to newcomer but not in delta", p)
+			}
+		}
+	}
+
+	// A second join while this one is pending is refused.
+	if _, err := r.AddMember(Member{Name: "echo", Primary: disk.New(pages)}); err == nil {
+		t.Error("overlapping join accepted")
+	}
+
+	// Fence one delta page: its write fails transiently, reads still
+	// flow, and other pages write fine.
+	victim := delta[0]
+	if n := r.FenceRange(victim, victim+1); n != 1 {
+		t.Fatalf("FenceRange fenced %d pages, want 1", n)
+	}
+	buf := make([]byte, r.PageSize())
+	if err := r.WritePage(victim, buf); !errors.Is(err, ErrFencedPage) || !disk.Retryable(err) {
+		t.Fatalf("fenced write = %v, want transient ErrFencedPage", err)
+	}
+	if err := r.ReadPage(victim, buf); err != nil {
+		t.Fatalf("read of fenced page: %v", err)
+	}
+
+	// Cut the whole delta over: exactly len(delta) pages flip, routing
+	// becomes the pure rendezvous assignment, the fence lifts.
+	if n := r.CutOver(0, disk.PageID(pages), "delta"); n != len(delta) {
+		t.Fatalf("CutOver flipped %d pages, want %d", n, len(delta))
+	}
+	if got := r.PendingPages(); got != 0 {
+		t.Errorf("PendingPages after cutover = %d, want 0", got)
+	}
+	for _, p := range delta {
+		if got := r.ShardOf(p); got != newIdx {
+			t.Fatalf("cut-over page %d routes to %d, want the newcomer", p, got)
+		}
+	}
+	for i := range buf {
+		buf[i] = 0xCD
+	}
+	if err := r.WritePage(victim, buf); err != nil {
+		t.Fatalf("write after cutover: %v", err)
+	}
+	got := make([]byte, r.PageSize())
+	if err := newDev.ReadPage(victim, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xCD {
+		t.Error("post-cutover write did not land on the new owner")
+	}
+
+	// Replaying the cutover (crash recovery) is idempotent.
+	if n := r.CutOver(0, disk.PageID(pages), "delta"); n != 0 {
+		t.Errorf("replayed cutover flipped %d pages, want 0", n)
+	}
+}

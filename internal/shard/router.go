@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -19,6 +20,26 @@ import (
 // may come back, so RetryFaults-style callers keep the query alive
 // across half-open probes while SkipObject callers quarantine.
 var ErrShardDown = errors.New("shard: shard down")
+
+// ErrFencedPage marks a write refused because its page is mid-cutover:
+// the resharding migrator has copied the page and fenced it so no write
+// lands on the old owner and is lost at the flip. Always transient —
+// the fence lifts as soon as the cutover record is durable.
+var ErrFencedPage = errors.New("shard: page fenced for migration")
+
+// MemberError attributes a routed-access failure to the shard member
+// it happened on, so callers (and the fleet controller) can tell WHICH
+// shard starved a retry budget or has its breaker open without parsing
+// message text.
+type MemberError struct {
+	// Member is the shard's name (Member.Name).
+	Member string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *MemberError) Error() string { return fmt.Sprintf("shard %s: %v", e.Member, e.Err) }
+func (e *MemberError) Unwrap() error { return e.Err }
 
 // Member is one shard of the fleet: a primary device (typically a
 // pagesvc.Client pointed at one asmpaged primary) plus an optional
@@ -62,15 +83,21 @@ type Config struct {
 	Registry *metrics.Registry
 }
 
-// shardState is the router's per-shard health bookkeeping.
+// shardState is the router's per-shard health bookkeeping. States are
+// held by pointer so they survive the members slice growing on
+// AddMember.
 type shardState struct {
 	breaker *Breaker
 	// degraded marks an ongoing degraded episode (replica serving or
 	// shard unreachable); the edge into it emits one failover event.
 	degraded bool
+	// epoch is the shard's fencing epoch, bumped by PromoteReplica and
+	// stamped into epoch-aware primaries.
+	epoch uint64
 
-	degradedReads metrics.Counter
-	trips         metrics.Counter
+	degradedReads   metrics.Counter
+	trips           metrics.Counter
+	budgetExhausted metrics.Counter
 }
 
 // Router implements disk.Device over a fleet of shards with
@@ -79,20 +106,49 @@ type shardState struct {
 // member-name set — independent of slice order and of request history
 // — and adding or removing a member moves only the pages whose argmax
 // changes (≈ 1/N of the keys).
+//
+// The membership is live: PromoteReplica swaps a failed primary for
+// its replica under a new fencing epoch, and AddMember joins a new
+// shard whose rendezvous-owed pages keep routing to their old owners
+// until the migrator cuts them over (FenceRange/CutOver). All routing
+// state is guarded by one mutex; member devices are copied out under
+// it, so accesses in flight during a promotion finish against a
+// coherent member view.
 type Router struct {
-	cfg      Config
+	cfg   Config
+	retry disk.RetryPolicy
+	ps    int // page size, immutable
+
+	// wmu is the migration write barrier: every write attempt holds it
+	// for read from its fence check through its device write, and
+	// FenceRange takes it for write AFTER setting fence flags — so once
+	// FenceRange returns, every in-flight write has either landed (and
+	// the migrator's re-copy will see it) or will observe the fence.
+	wmu sync.RWMutex
+
+	mu       sync.Mutex
 	members  []Member
 	nameSeed []uint64 // per-member hash of Name, precomputed
-	shards   []shardState
-	retry    disk.RetryPolicy
-
-	mu     sync.Mutex
+	shards   []*shardState
+	// pending maps a global page whose rendezvous owner is a newly
+	// joined member to its PRE-join owner index: reads and writes keep
+	// flowing to the old owner until the migrator cuts the page over.
+	pending map[disk.PageID]int
+	// fence marks pages mid-cutover: writes fail transiently until the
+	// ownership record is durable and CutOver lifts the fence.
+	fence  map[disk.PageID]bool
 	size   int
 	last   disk.PageID // last global page touched, for Head()
 	closed bool
 
-	retries         metrics.Counter
-	budgetExhausted metrics.Counter
+	// Late-join attachment state: SetTracer/RegisterMetrics remember
+	// their arguments so AddMember can wire a new member's device the
+	// same way the originals were wired.
+	devTracer *trace.Tracer
+	devReg    *metrics.Registry
+	devPrefix string
+
+	retries metrics.Counter
 }
 
 // New builds a router over the given members. All member devices must
@@ -128,15 +184,18 @@ func New(cfg Config) (*Router, error) {
 	if retry.MaxAttempts == 0 {
 		retry = disk.DefaultRetryPolicy
 	}
-	r := &Router{cfg: cfg, members: cfg.Members, retry: retry}
-	r.shards = make([]shardState, len(cfg.Members))
+	r := &Router{
+		cfg:     cfg,
+		retry:   retry,
+		ps:      ps,
+		members: append([]Member(nil), cfg.Members...),
+		pending: map[disk.PageID]int{},
+		fence:   map[disk.PageID]bool{},
+	}
 	size := cfg.Members[0].Primary.NumPages()
-	for i, m := range cfg.Members {
+	for _, m := range cfg.Members {
 		r.nameSeed = append(r.nameSeed, hashName(m.Name))
-		bcfg := cfg.Breaker
-		trips := &r.shards[i].trips
-		bcfg.OnTrip = func() { trips.Inc() }
-		r.shards[i].breaker = NewBreaker(bcfg)
+		r.shards = append(r.shards, r.newShardState())
 		if n := m.Primary.NumPages(); n < size {
 			size = n
 		}
@@ -144,15 +203,31 @@ func New(cfg Config) (*Router, error) {
 	r.size = size
 	if reg := cfg.Registry; reg != nil {
 		reg.Attach("asm_shard_retries_total", "Router-level access retries across all shards.", &r.retries)
-		reg.Attach("asm_shard_budget_exhausted_total", "Accesses abandoned because the query's retry budget ran dry.", &r.budgetExhausted)
 		for i := range r.shards {
-			reg.Attach("asm_shard_degraded_reads_total", "Reads served by a shard's replica or refused with the breaker open.",
-				&r.shards[i].degradedReads, "shard", r.members[i].Name)
-			reg.Attach("asm_shard_breaker_trips_total", "Circuit-breaker open transitions.",
-				&r.shards[i].trips, "shard", r.members[i].Name)
+			r.attachShardMetrics(reg, r.shards[i], r.members[i].Name)
 		}
 	}
 	return r, nil
+}
+
+// newShardState builds a fresh per-shard state with its breaker wired
+// to the trip counter.
+func (r *Router) newShardState() *shardState {
+	st := &shardState{}
+	bcfg := r.cfg.Breaker
+	bcfg.OnTrip = func() { st.trips.Inc() }
+	st.breaker = NewBreaker(bcfg)
+	return st
+}
+
+// attachShardMetrics registers one shard's labeled counters.
+func (r *Router) attachShardMetrics(reg *metrics.Registry, st *shardState, name string) {
+	reg.Attach("asm_shard_degraded_reads_total", "Reads served by a shard's replica or refused with the breaker open.",
+		&st.degradedReads, "shard", name)
+	reg.Attach("asm_shard_breaker_trips_total", "Circuit-breaker open transitions.",
+		&st.trips, "shard", name)
+	reg.Attach("asm_shard_budget_exhausted_total", "Accesses abandoned because the query's retry budget ran dry.",
+		&st.budgetExhausted, "shard", name)
 }
 
 // hashName is FNV-1a over the member name, finished with a splitmix64
@@ -172,10 +247,10 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// ShardOf routes a global page to its owning member index by highest
-// rendezvous score; ties break toward the lexically smaller name so
-// the choice stays a pure function of the name set.
-func (r *Router) ShardOf(p disk.PageID) int {
+// rendezvousLocked is the pure rendezvous argmax over the CURRENT
+// member set; ties break toward the lexically smaller name so the
+// choice stays a pure function of the name set. Caller holds r.mu.
+func (r *Router) rendezvousLocked(p disk.PageID) int {
 	best, bestScore := 0, uint64(0)
 	for i, seed := range r.nameSeed {
 		score := mix64(seed ^ (uint64(p)+1)*0x9E3779B97F4A7C15)
@@ -187,21 +262,317 @@ func (r *Router) ShardOf(p disk.PageID) int {
 	return best
 }
 
+// shardOfLocked is the ROUTING owner: the rendezvous owner, except that
+// a page still pending migration routes to its pre-join owner. Caller
+// holds r.mu.
+func (r *Router) shardOfLocked(p disk.PageID) int {
+	if old, ok := r.pending[p]; ok {
+		return old
+	}
+	return r.rendezvousLocked(p)
+}
+
+// ShardOf routes a global page to its owning member index: the highest
+// rendezvous score over the member-name set, overridden toward the old
+// owner for pages a live reshard has not yet cut over.
+func (r *Router) ShardOf(p disk.PageID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.shardOfLocked(p)
+}
+
+// RendezvousOwner returns the pure rendezvous owner of p over the
+// current member set, ignoring any in-flight migration — where the
+// page WILL live once resharding completes.
+func (r *Router) RendezvousOwner(p disk.PageID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rendezvousLocked(p)
+}
+
 // Shards returns the fleet width.
-func (r *Router) Shards() int { return len(r.members) }
+func (r *Router) Shards() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.members)
+}
 
 // MemberName returns shard i's hash identity.
-func (r *Router) MemberName(i int) string { return r.members[i].Name }
+func (r *Router) MemberName(i int) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.members[i].Name
+}
+
+// MemberIndex returns the index of the member with the given name, or
+// -1 if no such member.
+func (r *Router) MemberIndex(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.memberIndexLocked(name)
+}
+
+func (r *Router) memberIndexLocked(name string) int {
+	for i := range r.members {
+		if r.members[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Epoch returns shard i's current fencing epoch (0 until a promotion).
+func (r *Router) Epoch(i int) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.shards[i].epoch
+}
+
+// HasReplica reports whether shard i currently has a failover replica.
+func (r *Router) HasReplica(i int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.members[i].Replica != nil
+}
+
+// ReplicaLSN returns shard i's replica applied LSN, or 0 when the
+// shard has no replica or no progress reporter.
+func (r *Router) ReplicaLSN(i int) uint64 {
+	r.mu.Lock()
+	fn := r.members[i].AppliedLSN
+	r.mu.Unlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
+}
 
 // BreakerState exposes shard i's breaker position (for /statusz and
 // tests).
-func (r *Router) BreakerState(i int) BreakerState { return r.shards[i].breaker.State() }
+func (r *Router) BreakerState(i int) BreakerState {
+	r.mu.Lock()
+	b := r.shards[i].breaker
+	r.mu.Unlock()
+	return b.State()
+}
 
 // Trips returns how many times shard i's breaker has opened.
-func (r *Router) Trips(i int) int64 { return r.shards[i].breaker.Trips() }
+func (r *Router) Trips(i int) int64 {
+	r.mu.Lock()
+	b := r.shards[i].breaker
+	r.mu.Unlock()
+	return b.Trips()
+}
 
 // DegradedReads returns how many of shard i's reads ran degraded.
-func (r *Router) DegradedReads(i int) int64 { return r.shards[i].degradedReads.Value() }
+func (r *Router) DegradedReads(i int) int64 {
+	r.mu.Lock()
+	st := r.shards[i]
+	r.mu.Unlock()
+	return st.degradedReads.Value()
+}
+
+// PendingPages returns how many pages still route to their pre-join
+// owner (0 when no reshard is in flight).
+func (r *Router) PendingPages() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// --- live membership ---
+
+// PromoteReplica flips shard i's replica to writable primary under the
+// given fencing epoch: the replica device becomes the shard's Primary,
+// the breaker resets (the new primary starts with a clean health
+// record), the degraded episode ends, and — when the device is
+// epoch-aware (pagesvc.Client's SetEpoch) — every subsequent request
+// carries the new epoch so the old primary's zombie writes are fenced.
+// The demoted device is returned for the caller to close or retire; it
+// is NOT closed here, because a fenced zombie may still be draining.
+func (r *Router) PromoteReplica(i int, epoch uint64) (disk.Device, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, disk.ErrClosed
+	}
+	if i < 0 || i >= len(r.members) {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("shard: promote: no shard %d", i)
+	}
+	m := &r.members[i]
+	if m.Replica == nil {
+		r.mu.Unlock()
+		return nil, &MemberError{Member: m.Name, Err: fmt.Errorf("promote: no replica")}
+	}
+	if epoch <= r.shards[i].epoch {
+		name, cur := m.Name, r.shards[i].epoch
+		r.mu.Unlock()
+		return nil, &MemberError{Member: name, Err: fmt.Errorf("promote: epoch %d not beyond current %d", epoch, cur)}
+	}
+	old := m.Primary
+	m.Primary = m.Replica
+	m.Replica = nil
+	m.AppliedLSN = nil
+	r.shards[i].epoch = epoch
+	r.shards[i].degraded = false
+	st := r.shards[i]
+	promoted := m.Primary
+	name := m.Name
+	r.mu.Unlock()
+
+	st.breaker.Reset()
+	if es, ok := promoted.(interface{ SetEpoch(uint64) }); ok {
+		es.SetEpoch(epoch)
+	}
+	r.cfg.Tracer.Net(trace.KindPromote, trace.NoPage, int64(epoch), "shard:"+name)
+	return old, nil
+}
+
+// AddMember joins a new shard to the fleet. The rendezvous assignment
+// over the enlarged name set owes the newcomer ≈ 1/(N+1) of the pages;
+// AddMember marks exactly those pages pending — they keep routing to
+// their pre-join owners — and returns them in ascending order for the
+// migrator to copy and cut over. The new member's primary is grown to
+// the global page space, and wired to the tracer/registry the router's
+// own devices use. One join at a time: AddMember refuses while a prior
+// join still has pending pages.
+func (r *Router) AddMember(m Member) ([]disk.PageID, error) {
+	if m.Name == "" {
+		return nil, fmt.Errorf("shard: member needs a name (the hash identity)")
+	}
+	if m.Primary == nil {
+		return nil, fmt.Errorf("shard: member %q has no primary device", m.Name)
+	}
+	if m.Primary.PageSize() != r.ps {
+		return nil, fmt.Errorf("shard: members disagree on page size")
+	}
+	if m.Replica != nil && m.Replica.PageSize() != r.ps {
+		return nil, fmt.Errorf("shard: member %q replica disagrees on page size", m.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, disk.ErrClosed
+	}
+	if r.memberIndexLocked(m.Name) >= 0 {
+		return nil, fmt.Errorf("shard: duplicate member name %q", m.Name)
+	}
+	if len(r.pending) > 0 {
+		return nil, fmt.Errorf("shard: a reshard is already in flight (%d pages pending)", len(r.pending))
+	}
+	if grow := r.size - m.Primary.NumPages(); grow > 0 {
+		if _, err := m.Primary.Allocate(grow); err != nil {
+			return nil, fmt.Errorf("shard: grow joining member %q: %w", m.Name, err)
+		}
+	}
+	newIdx := len(r.members)
+	r.members = append(r.members, m)
+	r.nameSeed = append(r.nameSeed, hashName(m.Name))
+	r.shards = append(r.shards, r.newShardState())
+	if r.cfg.Registry != nil {
+		r.attachShardMetrics(r.cfg.Registry, r.shards[newIdx], m.Name)
+	}
+	if r.devTracer != nil {
+		disk.AttachTracer(m.Primary, r.devTracer)
+		if m.Replica != nil {
+			disk.AttachTracer(m.Replica, r.devTracer)
+		}
+	}
+	if r.devReg != nil {
+		disk.RegisterMetrics(m.Primary, r.devReg, fmt.Sprintf("%s%d", r.devPrefix, newIdx))
+		if m.Replica != nil {
+			disk.RegisterMetrics(m.Replica, r.devReg, fmt.Sprintf("%s%dr", r.devPrefix, newIdx))
+		}
+	}
+
+	// The delta: every page whose post-join argmax is the newcomer.
+	// Its pre-join owner is the argmax over the old prefix — recorded
+	// so routing keeps hitting the data until the cutover.
+	var delta []disk.PageID
+	for p := 0; p < r.size; p++ {
+		id := disk.PageID(p)
+		if r.rendezvousLocked(id) == newIdx {
+			old, oldScore := 0, uint64(0)
+			for i := 0; i < newIdx; i++ {
+				score := mix64(r.nameSeed[i] ^ (uint64(id)+1)*0x9E3779B97F4A7C15)
+				if i == 0 || score > oldScore ||
+					(score == oldScore && r.members[i].Name < r.members[old].Name) {
+					old, oldScore = i, score
+				}
+			}
+			r.pending[id] = old
+			delta = append(delta, id)
+		}
+	}
+	sort.Slice(delta, func(a, b int) bool { return delta[a] < delta[b] })
+	return delta, nil
+}
+
+// FenceRange fences every pending page in [lo, hi): writes to fenced
+// pages fail transiently until CutOver lifts the fence, so the copy the
+// migrator takes after fencing cannot be silently invalidated on the
+// old owner. Reads keep flowing. FenceRange does not return until every
+// write already in flight has landed — the migrator may trust that a
+// post-fence read of the old owner sees all surviving writes. Fencing
+// an already-fenced or non-pending page is a no-op; it returns how many
+// pages are newly fenced.
+func (r *Router) FenceRange(lo, hi disk.PageID) int {
+	r.mu.Lock()
+	n := 0
+	for p := range r.pending {
+		if p >= lo && p < hi && !r.fence[p] {
+			r.fence[p] = true
+			n++
+		}
+	}
+	r.mu.Unlock()
+	// Barrier: wait out writes that checked the fence before it was set.
+	r.wmu.Lock()
+	r.wmu.Unlock() //nolint:staticcheck // empty critical section IS the barrier
+	return n
+}
+
+// UnfenceRange lifts fences in [lo, hi) without cutting over — the
+// migrator's abort path when a copy fails and must be retried.
+func (r *Router) UnfenceRange(lo, hi disk.PageID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for p := range r.fence {
+		if p >= lo && p < hi {
+			delete(r.fence, p)
+		}
+	}
+}
+
+// CutOver applies one durable ownership record: every pending page in
+// [lo, hi) whose rendezvous owner is the named member flips to it —
+// subsequent accesses route to the new owner — and its fence lifts. It
+// returns how many pages flipped. Replaying a cutover (recovery after
+// a migrator crash) is idempotent: already-flipped pages are no longer
+// pending and count zero.
+func (r *Router) CutOver(lo, hi disk.PageID, owner string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := r.memberIndexLocked(owner)
+	if idx < 0 {
+		return 0
+	}
+	n := 0
+	for p := range r.pending {
+		if p >= lo && p < hi && r.rendezvousLocked(p) == idx {
+			delete(r.pending, p)
+			delete(r.fence, p)
+			n++
+		}
+	}
+	if n > 0 {
+		r.cfg.Tracer.Net(trace.KindMigrate, int64(lo), int64(n), "shard:"+owner)
+	}
+	return n
+}
+
+// --- access path ---
 
 // checkAccess validates the access and books the head movement.
 func (r *Router) checkAccess(p disk.PageID, buf []byte) error {
@@ -210,7 +581,7 @@ func (r *Router) checkAccess(p disk.PageID, buf []byte) error {
 	if r.closed {
 		return disk.ErrClosed
 	}
-	if len(buf) != r.members[0].Primary.PageSize() {
+	if len(buf) != r.ps {
 		return disk.ErrBadLength
 	}
 	if int(p) >= r.size {
@@ -220,10 +591,9 @@ func (r *Router) checkAccess(p disk.PageID, buf []byte) error {
 	return nil
 }
 
-// replicaFresh reports whether shard i's replica exists and clears the
-// staleness floor.
-func (r *Router) replicaFresh(i int) bool {
-	m := &r.members[i]
+// replicaFresh reports whether the member copy's replica exists and
+// clears the staleness floor.
+func (r *Router) replicaFresh(m Member) bool {
 	if m.Replica == nil {
 		return false
 	}
@@ -235,8 +605,7 @@ func (r *Router) replicaFresh(i int) bool {
 
 // noteDegraded books one degraded read on shard i and emits a
 // failover event on the edge into the episode.
-func (r *Router) noteDegraded(i int, sp *qtrace.Span) {
-	st := &r.shards[i]
+func (r *Router) noteDegraded(st *shardState, name string, sp *qtrace.Span) {
 	st.degradedReads.Inc()
 	sp.OnDegraded()
 	r.mu.Lock()
@@ -244,68 +613,104 @@ func (r *Router) noteDegraded(i int, sp *qtrace.Span) {
 	st.degraded = true
 	r.mu.Unlock()
 	if edge {
-		r.cfg.Tracer.Net(trace.KindFailover, trace.NoPage, 0, "shard:"+r.members[i].Name)
+		r.cfg.Tracer.Net(trace.KindFailover, trace.NoPage, 0, "shard:"+name)
 	}
 }
 
-// noteHealthy clears shard i's degraded episode after a primary
+// noteHealthy clears a shard's degraded episode after a primary
 // success.
-func (r *Router) noteHealthy(i int) {
+func (r *Router) noteHealthy(st *shardState) {
 	r.mu.Lock()
-	r.shards[i].degraded = false
+	st.degraded = false
 	r.mu.Unlock()
 }
 
+// attemptOnce runs one routed attempt. final reports that err (nil or
+// not) is the access's answer; !final means a transient failure the
+// retry loop may spend an attempt on. The returned name and state
+// identify the member the attempt ran against, for error attribution.
+func (r *Router) attemptOnce(ctx context.Context, p disk.PageID, buf []byte, write bool, sp *qtrace.Span) (err error, final bool, name string, st *shardState) {
+	if write {
+		// Hold the write barrier from the fence check through the device
+		// write (released before the caller's backoff sleep), so
+		// FenceRange can wait out writes that raced past the fence.
+		r.wmu.RLock()
+		defer r.wmu.RUnlock()
+	}
+	// Resolve the route and copy the member under the lock, then
+	// release before touching the (possibly remote, slow) device —
+	// a promotion or cutover may swap members mid-access, and the
+	// attempt in flight just finishes against its coherent copy.
+	r.mu.Lock()
+	i := r.shardOfLocked(p)
+	m := r.members[i]
+	st = r.shards[i]
+	fenced := write && r.fence[p]
+	r.mu.Unlock()
+	name = m.Name
+
+	switch {
+	case fenced:
+		// Mid-cutover: the migrator holds the pen on this page. The
+		// fence lifts in well under a retry interval, and the retry
+		// re-routes to whichever owner wins.
+		return fmt.Errorf("%w: page %d: %w", ErrFencedPage, p, disk.ErrTransient), false, name, st
+	case st.breaker.Allow():
+		if write {
+			err = m.Primary.WritePage(p, buf)
+		} else {
+			err = disk.ReadPageCtx(ctx, m.Primary, p, buf)
+		}
+		// A permanent page error is an answer, not an outage: the
+		// shard responded, so only transient failures count against
+		// its health.
+		st.breaker.Record(err == nil || !disk.Retryable(err))
+		if err == nil {
+			r.noteHealthy(st)
+			return nil, true, name, st
+		}
+		if !disk.Retryable(err) {
+			return err, true, name, st
+		}
+		// The primary failed transiently: a fresh replica can serve
+		// the read right now instead of burning a retry.
+		if !write && r.replicaFresh(m) {
+			if rerr := disk.ReadPageCtx(ctx, m.Replica, p, buf); rerr == nil {
+				r.noteDegraded(st, m.Name, sp)
+				return nil, true, name, st
+			}
+		}
+		return err, false, name, st
+	default:
+		// Breaker open: reads go straight to the replica; without a
+		// fresh one the shard is down for this access.
+		if !write && r.replicaFresh(m) {
+			if rerr := disk.ReadPageCtx(ctx, m.Replica, p, buf); rerr == nil {
+				r.noteDegraded(st, m.Name, sp)
+				return nil, true, name, st
+			}
+		}
+		err = &MemberError{Member: m.Name, Err: fmt.Errorf("%w: breaker open: %w", ErrShardDown, disk.ErrTransient)}
+		st.degradedReads.Inc()
+		sp.OnDegraded()
+		return err, false, name, st
+	}
+}
+
 // access runs one routed read or write with breaker gating, replica
-// fallback (reads only), retry pacing, and budget accounting.
+// fallback (reads only), retry pacing, and budget accounting. Routing
+// re-resolves on every attempt: a page cut over or a replica promoted
+// between attempts is picked up by the next one.
 func (r *Router) access(ctx context.Context, p disk.PageID, buf []byte, write bool) error {
-	i := r.ShardOf(p)
-	m := &r.members[i]
-	st := &r.shards[i]
 	sp := qtrace.From(ctx)
 	attempts := r.retry.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
 	}
 	for attempt := 0; ; attempt++ {
-		var err error
-		if st.breaker.Allow() {
-			if write {
-				err = m.Primary.WritePage(p, buf)
-			} else {
-				err = disk.ReadPageCtx(ctx, m.Primary, p, buf)
-			}
-			// A permanent page error is an answer, not an outage: the
-			// shard responded, so only transient failures count against
-			// its health.
-			st.breaker.Record(err == nil || !disk.Retryable(err))
-			if err == nil {
-				r.noteHealthy(i)
-				return nil
-			}
-			if !disk.Retryable(err) {
-				return err
-			}
-			// The primary failed transiently: a fresh replica can serve
-			// the read right now instead of burning a retry.
-			if !write && r.replicaFresh(i) {
-				if rerr := disk.ReadPageCtx(ctx, m.Replica, p, buf); rerr == nil {
-					r.noteDegraded(i, sp)
-					return nil
-				}
-			}
-		} else {
-			// Breaker open: reads go straight to the replica; without a
-			// fresh one the shard is down for this access.
-			if !write && r.replicaFresh(i) {
-				if rerr := disk.ReadPageCtx(ctx, m.Replica, p, buf); rerr == nil {
-					r.noteDegraded(i, sp)
-					return nil
-				}
-			}
-			err = fmt.Errorf("%w: shard %s: breaker open: %w", ErrShardDown, m.Name, disk.ErrTransient)
-			st.degradedReads.Inc()
-			sp.OnDegraded()
+		err, final, name, st := r.attemptOnce(ctx, p, buf, write, sp)
+		if final {
+			return err
 		}
 		if attempt+1 >= attempts {
 			return err
@@ -315,8 +720,8 @@ func (r *Router) access(ctx context.Context, p disk.PageID, buf []byte, write bo
 		// anywhere in the fleet — the error surfaces now and the fault
 		// policy above decides the object's fate.
 		if b := BudgetFrom(ctx); b != nil && !b.Take() {
-			r.budgetExhausted.Inc()
-			return fmt.Errorf("shard %s: retry budget exhausted: %w", m.Name, err)
+			st.budgetExhausted.Inc()
+			return &MemberError{Member: name, Err: fmt.Errorf("retry budget exhausted: %w", err)}
 		}
 		r.retries.Inc()
 		sp.OnIORetries(1)
@@ -333,6 +738,14 @@ func (r *Router) access(ctx context.Context, p disk.PageID, buf []byte, write bo
 }
 
 // --- disk.Device ---
+
+// membersSnapshot copies the member slice under the lock for iteration
+// without holding it across device calls.
+func (r *Router) membersSnapshot() []Member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Member(nil), r.members...)
+}
 
 // ReadPage implements disk.Device.
 func (r *Router) ReadPage(p disk.PageID, buf []byte) error {
@@ -389,7 +802,7 @@ func (r *Router) NumPages() int {
 }
 
 // PageSize implements disk.Device.
-func (r *Router) PageSize() int { return r.members[0].Primary.PageSize() }
+func (r *Router) PageSize() int { return r.ps }
 
 // Head implements disk.Device: the last global page touched. Member
 // heads are the physically meaningful ones; the per-shard elevator
@@ -414,7 +827,7 @@ func (r *Router) Stats() disk.Stats {
 			total.MaxSeek = st.MaxSeek
 		}
 	}
-	for _, m := range r.members {
+	for _, m := range r.membersSnapshot() {
 		add(m.Primary.Stats())
 		if m.Replica != nil {
 			add(m.Replica.Stats())
@@ -425,7 +838,7 @@ func (r *Router) Stats() disk.Stats {
 
 // ResetStats implements disk.Device.
 func (r *Router) ResetStats() {
-	for _, m := range r.members {
+	for _, m := range r.membersSnapshot() {
 		m.Primary.ResetStats()
 		if m.Replica != nil {
 			m.Replica.ResetStats()
@@ -438,7 +851,7 @@ func (r *Router) ResetHead() {
 	r.mu.Lock()
 	r.last = 0
 	r.mu.Unlock()
-	for _, m := range r.members {
+	for _, m := range r.membersSnapshot() {
 		m.Primary.ResetHead()
 		if m.Replica != nil {
 			m.Replica.ResetHead()
@@ -454,9 +867,10 @@ func (r *Router) Close() error {
 		return nil
 	}
 	r.closed = true
+	members := append([]Member(nil), r.members...)
 	r.mu.Unlock()
 	var first error
-	for _, m := range r.members {
+	for _, m := range members {
 		if err := m.Primary.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -471,9 +885,14 @@ func (r *Router) Close() error {
 
 // SetTracer implements disk.TracerSetter by forwarding to every member
 // device: traced reads carry each member's own head accounting, which
-// is the physically meaningful view.
+// is the physically meaningful view. The tracer is remembered so
+// members joining later get it too.
 func (r *Router) SetTracer(t *trace.Tracer) {
-	for _, m := range r.members {
+	r.mu.Lock()
+	r.devTracer = t
+	members := append([]Member(nil), r.members...)
+	r.mu.Unlock()
+	for _, m := range members {
 		disk.AttachTracer(m.Primary, t)
 		if m.Replica != nil {
 			disk.AttachTracer(m.Replica, t)
@@ -483,9 +902,14 @@ func (r *Router) SetTracer(t *trace.Tracer) {
 
 // RegisterMetrics implements disk.MetricsRegistrar by registering
 // every member primary under "<dev><index>" (replicas under
-// "<dev><index>r"), mirroring disk.Striped.
+// "<dev><index>r"), mirroring disk.Striped. The registry is remembered
+// so members joining later register the same way.
 func (r *Router) RegisterMetrics(reg *metrics.Registry, dev string) {
-	for i, m := range r.members {
+	r.mu.Lock()
+	r.devReg, r.devPrefix = reg, dev
+	members := append([]Member(nil), r.members...)
+	r.mu.Unlock()
+	for i, m := range members {
 		disk.RegisterMetrics(m.Primary, reg, fmt.Sprintf("%s%d", dev, i))
 		if m.Replica != nil {
 			disk.RegisterMetrics(m.Replica, reg, fmt.Sprintf("%s%dr", dev, i))

@@ -272,7 +272,7 @@ func TestRouterRetryBudget(t *testing.T) {
 	if got := snap.Value("asm_shard_retries_total"); got != 1 {
 		t.Fatalf("asm_shard_retries_total = %d, want 1", got)
 	}
-	if got := snap.Value("asm_shard_budget_exhausted_total"); got != 1 {
+	if got := snap.Sum("asm_shard_budget_exhausted_total"); got != 1 {
 		t.Fatalf("asm_shard_budget_exhausted_total = %d, want 1", got)
 	}
 

@@ -39,6 +39,7 @@ type detCounters struct {
 	Stalls          int
 	PeakWindow      int
 	PeakWindowPages int
+	Migrated        int
 }
 
 // iterResult is one iteration's full measurement.
@@ -214,6 +215,10 @@ func runIteration(sc Scenario) (iterResult, error) {
 	if err != nil {
 		return iterResult{}, fmt.Errorf("trace replay disagrees with harness: %w", err)
 	}
+	if int(replay.PagesMigrated) != e.migrated {
+		return iterResult{}, fmt.Errorf("trace replay counted %d migrated pages, migrator reported %d",
+			replay.PagesMigrated, e.migrated)
+	}
 
 	// Leg 2: the metrics registry's delta over the measured phase must
 	// agree with the same counters.
@@ -236,6 +241,7 @@ func runIteration(sc Scenario) (iterResult, error) {
 			Stalls:          st.WindowStalls,
 			PeakWindow:      replay.PeakWindow,
 			PeakWindowPages: st.PeakWindowPgs,
+			Migrated:        e.migrated,
 		},
 		elapsed: got.Elapsed,
 		mallocs: ms1.Mallocs - ms0.Mallocs,
@@ -275,8 +281,15 @@ func verifyRegistry(sc Scenario, e *env, d metrics.Snapshot, got bench.Measured,
 	if len(e.shardLabels) > 0 {
 		// Every member client exports its own net series; summed across
 		// the fleet they must cover every logical page access exactly
-		// once — the router never duplicates or drops an access.
+		// once — the router never duplicates or drops an access. The
+		// migrator's direct installs on the joiner are page accesses too
+		// (the router's stats sum every member's device, routed or not);
+		// the one extra net op of a reshard is the join's Allocate RPC
+		// growing the joiner to the fleet's extent.
 		accesses := got.Dev.Reads + got.Dev.Writes
+		if sc.Workload == WorkloadReshard {
+			accesses++
+		}
 		var sends, recvs int64
 		for _, lbl := range e.shardLabels {
 			sends += d.Value("asm_net_sends_total", "dev", lbl)
@@ -285,6 +298,11 @@ func verifyRegistry(sc Scenario, e *env, d metrics.Snapshot, got bench.Measured,
 		if sends != accesses || recvs != accesses {
 			return fmt.Errorf("registry disagrees with harness: fleet sends/recvs %d/%d, page accesses %d",
 				sends, recvs, accesses)
+		}
+		if sc.Workload == WorkloadReshard {
+			if reg := d.Value("asm_fleet_pages_migrated_total"); reg != int64(e.migrated) {
+				return fmt.Errorf("registry disagrees with harness: asm_fleet_pages_migrated_total %d, migrator reported %d", reg, e.migrated)
+			}
 		}
 		return nil
 	}

@@ -23,6 +23,11 @@ const (
 	// mutates a batch of components, and re-assembles only the roots
 	// the mutations invalidated.
 	WorkloadIncremental Workload = "incremental"
+	// WorkloadReshard assembles half the roots over a three-member shard
+	// fleet, live-migrates a fourth member's rendezvous delta into the
+	// fleet (crash-safe cutover through the ownership log), then
+	// assembles the rest over the enlarged fleet. Sharded backend only.
+	WorkloadReshard Workload = "reshard"
 )
 
 // Shape names the object-graph template a scenario generates.
@@ -136,10 +141,10 @@ func scenarioFromTable(f *field) Scenario {
 	}
 
 	switch w := f.str("workload", string(WorkloadAssemble)); Workload(w) {
-	case WorkloadAssemble, WorkloadTimeSeries, WorkloadIncremental:
+	case WorkloadAssemble, WorkloadTimeSeries, WorkloadIncremental, WorkloadReshard:
 		sc.Workload = Workload(w)
 	default:
-		f.errf("workload", "scenario %q: unknown workload %q (assemble, timeseries, incremental)", sc.Name, w)
+		f.errf("workload", "scenario %q: unknown workload %q (assemble, timeseries, incremental, reshard)", sc.Name, w)
 	}
 	switch s := f.str("shape", string(ShapePaper)); Shape(s) {
 	case ShapePaper, ShapeDeep, ShapeWide, ShapeShared:
@@ -259,6 +264,9 @@ func scenarioFromTable(f *field) Scenario {
 		}
 	} else if sc.MutateCount != 0 {
 		f.errf("mutate_count", "scenario %q: mutate_count only applies to the incremental workload", sc.Name)
+	}
+	if sc.Workload == WorkloadReshard && sc.Backend != BackendSharded {
+		f.errf("backend", "scenario %q: reshard workload needs backend = \"sharded\" (it migrates pages between fleet members)", sc.Name)
 	}
 	if sc.UseSharingStats && sc.Sharing == 0 {
 		f.errf("use_sharing_stats", "scenario %q: use_sharing_stats needs sharing > 0", sc.Name)

@@ -9,6 +9,7 @@ import (
 
 	"revelation/internal/assembly"
 	"revelation/internal/disk"
+	"revelation/internal/fleet"
 	"revelation/internal/gen"
 	"revelation/internal/metrics"
 	"revelation/internal/object"
@@ -31,7 +32,13 @@ type env struct {
 	shards      int
 	shardLabels []string
 	shardOf     func(disk.PageID) int
-	closes      []func() error
+	// Reshard workload: the router itself, the prepared fourth member
+	// (dialed but not yet joined), and how many pages the measured
+	// migration cut over.
+	router   *shard.Router
+	joiner   shard.Member
+	migrated int
+	closes   []func() error
 }
 
 func (e *env) close() {
@@ -130,9 +137,40 @@ func buildEnv(sc Scenario, tr *trace.Tracer, reg *metrics.Registry) (*env, error
 			return nil, err
 		}
 		e.closes = append(e.closes, router.Close)
+		e.router = router
 		e.shards = fleet
 		e.shardOf = router.ShardOf
 		cfg.Device = router
+		if sc.Workload == WorkloadReshard {
+			// Prepare the fourth member now (dial is setup, not workload)
+			// but leave the join to the measured phase. The elevator and
+			// the policy label both use the POST-join width: lanes are
+			// fixed identities, and pre-join no page routes to the empty
+			// fourth lane.
+			srv := pagesvc.NewServer([]disk.Device{disk.New(0)}, pagesvc.ServerConfig{})
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				e.close()
+				return nil, err
+			}
+			e.closes = append(e.closes, srv.Close)
+			label := fmt.Sprintf("net-s%d", fleet)
+			client, err := pagesvc.Dial(pagesvc.ClientConfig{
+				Primary:  addr,
+				Dev:      pagesvc.DataDev,
+				Tracer:   tr,
+				Registry: reg,
+				Label:    label,
+			})
+			if err != nil {
+				e.close()
+				return nil, err
+			}
+			e.closes = append(e.closes, client.Close)
+			e.joiner = shard.Member{Name: fmt.Sprintf("s%d", fleet), Primary: client}
+			e.shardLabels = append(e.shardLabels, label)
+			e.shards = fleet + 1
+		}
 	default:
 		return nil, fmt.Errorf("suite: unknown backend %q", sc.Backend)
 	}
@@ -221,10 +259,65 @@ func runWorkload(sc Scenario, e *env, tr *trace.Tracer, reg *metrics.Registry, p
 		}
 		st, err := assembleRoots(sc, e, roots, tr, reg)
 		return st, st.Assembled, err
+	case WorkloadReshard:
+		// Assemble the first half of the roots on the three-member
+		// fleet, live-reshard the fourth member in, assemble the rest on
+		// the enlarged fleet. The migration is part of the measured
+		// phase: its copy reads flow through the router and its cutovers
+		// are WAL-logged to a dedicated meta device.
+		half := len(e.db.Roots) / 2
+		st1, err := assembleRoots(sc, e, e.db.Roots[:half], tr, reg)
+		if err != nil {
+			return assembly.Stats{}, 0, err
+		}
+		mg, err := fleet.NewMigrator(fleet.MigratorConfig{
+			Router:     e.router,
+			MetaDev:    disk.New(0),
+			ChunkPages: 32,
+			Registry:   reg,
+		})
+		if err != nil {
+			return assembly.Stats{}, 0, err
+		}
+		e.migrated, err = mg.Join(e.joiner)
+		mg.Close()
+		if err != nil {
+			return assembly.Stats{}, 0, fmt.Errorf("suite %s: reshard: %w", sc.Name, err)
+		}
+		st2, err := assembleRoots(sc, e, e.db.Roots[half:], tr, reg)
+		st := addStats(st1, st2)
+		return st, st.Assembled, err
 	default: // WorkloadAssemble
 		st, err := assembleRoots(sc, e, e.db.Roots, tr, reg)
 		return st, st.Assembled, err
 	}
+}
+
+// addStats merges two sequential operator runs' stats: totals add,
+// peaks take the max (the runs never overlap in time).
+func addStats(a, b assembly.Stats) assembly.Stats {
+	s := assembly.Stats{
+		Assembled:      a.Assembled + b.Assembled,
+		Aborted:        a.Aborted + b.Aborted,
+		Resolved:       a.Resolved + b.Resolved,
+		Fetched:        a.Fetched + b.Fetched,
+		PageRequests:   a.PageRequests + b.PageRequests,
+		SharedLinks:    a.SharedLinks + b.SharedLinks,
+		PredicateFails: a.PredicateFails + b.PredicateFails,
+		NilRefs:        a.NilRefs + b.NilRefs,
+		Skipped:        a.Skipped + b.Skipped,
+		FaultRetries:   a.FaultRetries + b.FaultRetries,
+		WindowStalls:   a.WindowStalls + b.WindowStalls,
+		PeakRefPool:    a.PeakRefPool,
+		PeakWindowPgs:  a.PeakWindowPgs,
+	}
+	if b.PeakRefPool > s.PeakRefPool {
+		s.PeakRefPool = b.PeakRefPool
+	}
+	if b.PeakWindowPgs > s.PeakWindowPgs {
+		s.PeakWindowPgs = b.PeakWindowPgs
+	}
+	return s
 }
 
 // appendTrees materializes AppendCount fresh complex objects at the

@@ -40,6 +40,9 @@ type Replay struct {
 	NetSends, NetRecvs, NetErrors int64
 	NetTimeouts                   int64
 	Hedges, Failovers, Reconnects int64
+	// Fleet control-plane activity: replica promotions and resharding
+	// cutovers (pages flipped to their new owner).
+	Promotions, PagesMigrated int64
 
 	// Assembly reconstruction.
 	Admitted, Assembled, Aborted, Quarantined int
@@ -173,6 +176,10 @@ func ReplayEvents(events []Event) *Replay {
 				r.Failovers++
 			case KindReconnect:
 				r.Reconnects++
+			case KindPromote:
+				r.Promotions++
+			case KindMigrate:
+				r.PagesMigrated += e.N
 			}
 		case LayerAssembly:
 			switch e.Kind {

@@ -74,6 +74,8 @@ const (
 	KindHedge     = "hedge"     // straggler read hedged to a replica: Page, Note (endpoint)
 	KindFailover  = "failover"  // read routing switched off the primary: Note (new endpoint)
 	KindReconnect = "reconnect" // endpoint connection re-established: Note (endpoint)
+	KindPromote   = "promote"   // replica promoted to writable primary: N (epoch), Note (shard)
+	KindMigrate   = "migrate"   // resharding cutover applied: Page (range lo), N (pages flipped), Note (new owner)
 )
 
 // Assembly event kinds.

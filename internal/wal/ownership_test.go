@@ -1,0 +1,131 @@
+package wal
+
+import (
+	"strings"
+	"testing"
+
+	"revelation/internal/disk"
+)
+
+// TestOwnershipRoundTrip interleaves page and ownership records on one
+// log and checks that the shared LSN sequence, the Reader, and
+// ScanOwnership all agree on what was written.
+func TestOwnershipRoundTrip(t *testing.T) {
+	walDev := disk.New(0)
+	dataDev := disk.New(4)
+	w, err := Open(walDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(0, testImage(t, dataDev.PageSize(), "before cutover")); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := w.AppendOwnership(10, 20, "member-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 2 {
+		t.Errorf("AppendOwnership lsn = %d, want 2 (shared sequence)", lsn)
+	}
+	if _, err := w.Append(1, testImage(t, dataDev.PageSize(), "after cutover")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendOwnership(20, 30, "member-c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reader sees all four records in order with the right kinds.
+	r := NewReader(walDev)
+	var kinds []byte
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			break
+		}
+		kinds = append(kinds, rec.Kind)
+		if rec.Kind == RecOwnership && rec.LSN == 2 {
+			if rec.Lo != 10 || rec.Hi != 20 || rec.Owner != "member-b" {
+				t.Errorf("ownership record = [%d,%d) %q, want [10,20) member-b", rec.Lo, rec.Hi, rec.Owner)
+			}
+		}
+	}
+	if string(kinds) != string([]byte{RecPage, RecOwnership, RecPage, RecOwnership}) {
+		t.Errorf("record kinds = %v, want page,own,page,own", kinds)
+	}
+
+	// ScanOwnership filters to the cutover records only.
+	owns, err := ScanOwnership(walDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owns) != 2 || owns[0].Owner != "member-b" || owns[1].Owner != "member-c" {
+		t.Fatalf("ScanOwnership = %+v, want member-b then member-c", owns)
+	}
+
+	// Recover redoes the two page images and skips the cutovers.
+	res, err := Recover(walDev, dataDev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 4 || res.Redone != 2 || res.Ownership != 2 {
+		t.Errorf("recover = %+v, want 4 records, 2 redone, 2 ownership", res)
+	}
+}
+
+// TestOwnershipValidation checks argument guards and torn-tail handling
+// for ownership records.
+func TestOwnershipValidation(t *testing.T) {
+	walDev := disk.New(0)
+	w, err := Open(walDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendOwnership(5, 5, "x"); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := w.AppendOwnership(5, 4, "x"); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := w.AppendOwnership(0, 1, ""); err == nil {
+		t.Error("empty owner accepted")
+	}
+	if _, err := w.AppendOwnership(0, 1, strings.Repeat("n", maxImage)); err == nil {
+		t.Error("oversized owner accepted")
+	}
+
+	// A durable cutover followed by a torn one: the scan keeps the
+	// first and discards the tail.
+	if _, err := w.AppendOwnership(0, 8, "survivor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendOwnership(8, 16, "torn"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	tail := w.Tail()
+	ps := int64(walDev.PageSize())
+	buf := make([]byte, walDev.PageSize())
+	lastPage := disk.PageID((tail - 1) / ps)
+	if err := walDev.ReadPage(lastPage, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[int((tail-1)%ps)] ^= 0xFF
+	if err := walDev.WritePage(lastPage, buf); err != nil {
+		t.Fatal(err)
+	}
+	owns, err := ScanOwnership(walDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owns) != 1 || owns[0].Owner != "survivor" {
+		t.Fatalf("ScanOwnership over torn log = %+v, want only the survivor", owns)
+	}
+}

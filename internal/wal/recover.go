@@ -15,7 +15,7 @@ import (
 // last valid record, and whether the stop was a torn tail (an
 // interrupted append) rather than a clean zero-magic end. fn may be
 // nil. An error from fn aborts the scan.
-func scan(dev disk.Device, fn func(lsn uint64, id disk.PageID, img []byte) error) (end int64, nextLSN uint64, torn bool, err error) {
+func scan(dev disk.Device, fn func(rec Record) error) (end int64, nextLSN uint64, torn bool, err error) {
 	r := NewReader(dev)
 	for {
 		rec, rerr := r.Next()
@@ -23,11 +23,27 @@ func scan(dev disk.Device, fn func(lsn uint64, id disk.PageID, img []byte) error
 			return r.Offset(), r.LastLSN() + 1, errors.Is(rerr, ErrTornTail), nil
 		}
 		if fn != nil {
-			if err := fn(rec.LSN, rec.Page, rec.Img); err != nil {
+			if err := fn(rec); err != nil {
 				return r.Offset(), r.LastLSN() + 1, false, err
 			}
 		}
 	}
+}
+
+// ScanOwnership walks a log's valid prefix and returns every ownership
+// (cutover) record in LSN order, discarding any torn tail. This is the
+// recovery path for a migration log: the returned records replayed
+// onto a freshly joined router rebuild exactly the cutovers that were
+// durable before a crash.
+func ScanOwnership(dev disk.Device) ([]Record, error) {
+	var recs []Record
+	_, _, _, err := scan(dev, func(rec Record) error {
+		if rec.Kind == RecOwnership {
+			recs = append(recs, rec)
+		}
+		return nil
+	})
+	return recs, err
 }
 
 // Options configures Recover's observability hooks; the zero value
@@ -50,6 +66,9 @@ type Result struct {
 	// SkippedOlder counts records whose page was already current (its
 	// on-disk LSN was at least the record's and its checksum verified).
 	SkippedOlder int
+	// Ownership counts cutover records seen (they carry no page image;
+	// ScanOwnership retrieves their contents).
+	Ownership int
 	// TornTail reports whether the scan stopped at an interrupted
 	// append rather than a clean log end.
 	TornTail bool
@@ -84,9 +103,15 @@ func Recover(walDev, dataDev disk.Device, opts Options) (*Result, error) {
 			"Page images reinstalled from the WAL during recovery.")
 	}
 	buf := make([]byte, dataDev.PageSize())
-	end, next, torn, err := scan(walDev, func(lsn uint64, id disk.PageID, img []byte) error {
+	end, next, torn, err := scan(walDev, func(rec Record) error {
 		res.Records++
-		applied, aerr := ApplyRecord(dataDev, Record{LSN: lsn, Page: id, Img: img}, buf)
+		if rec.Kind == RecOwnership {
+			// Cutover records carry no page image; redo ignores them
+			// (the fleet migrator replays them via ScanOwnership).
+			res.Ownership++
+			return nil
+		}
+		applied, aerr := ApplyRecord(dataDev, rec, buf)
 		if aerr != nil {
 			return fmt.Errorf("wal: recover: %w", aerr)
 		}
@@ -96,7 +121,7 @@ func Recover(walDev, dataDev disk.Device, opts Options) (*Result, error) {
 		}
 		res.Redone++
 		redoneCell.Inc()
-		opts.Tracer.Redo(int64(id), lsn)
+		opts.Tracer.Redo(int64(rec.Page), rec.LSN)
 		return nil
 	})
 	if err != nil {

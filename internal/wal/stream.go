@@ -26,11 +26,26 @@ var (
 	ErrTornTail = errors.New("wal: torn tail")
 )
 
-// Record is one log record: the full after-image of a page.
+// Record kinds.
+const (
+	// RecPage is a page-image record: the full after-image of Page.
+	RecPage = byte(0)
+	// RecOwnership is a cutover record: pages in [Lo, Hi) owned by
+	// Owner under the post-join rendezvous assignment are cut over.
+	RecOwnership = byte(1)
+)
+
+// Record is one log record: a page after-image (RecPage, the common
+// case — Page and Img are set) or an ownership cutover (RecOwnership —
+// Lo, Hi, and Owner are set).
 type Record struct {
+	Kind byte
 	LSN  uint64
 	Page disk.PageID
 	Img  []byte
+
+	Lo, Hi disk.PageID
+	Owner  string
 }
 
 // Reader iterates a log device's records in order, incrementally: it
@@ -112,7 +127,7 @@ func (r *Reader) Next() (Record, error) {
 	if magic == 0 {
 		return Record{}, ErrEndOfLog
 	}
-	if magic != recMagic {
+	if magic != recMagic && magic != ownMagic {
 		return Record{}, ErrTornTail
 	}
 	lsn := binary.LittleEndian.Uint64(hdr[4:])
@@ -130,9 +145,24 @@ func (r *Reader) Next() (Record, error) {
 	if crc != want {
 		return Record{}, ErrTornTail
 	}
+	if magic == ownMagic {
+		// Ownership payload: [4B hi page][owner name]. The range must
+		// be non-empty and named — a violation means corruption that
+		// happened to pass the CRC window, treated like any torn tail.
+		if n < 5 {
+			return Record{}, ErrTornTail
+		}
+		hi := disk.PageID(binary.LittleEndian.Uint32(img[0:]))
+		if hi <= id {
+			return Record{}, ErrTornTail
+		}
+		r.lsn = lsn
+		r.pos += int64(recHdrSize + n)
+		return Record{Kind: RecOwnership, LSN: lsn, Lo: id, Hi: hi, Owner: string(img[4:])}, nil
+	}
 	r.lsn = lsn
 	r.pos += int64(recHdrSize + n)
-	return Record{LSN: lsn, Page: id, Img: img}, nil
+	return Record{Kind: RecPage, LSN: lsn, Page: id, Img: img}, nil
 }
 
 // ApplyRecord performs the redo-if-newer step for one record against a

@@ -49,8 +49,28 @@ import (
 //
 // Records span page boundaries freely; the page after the last written
 // byte is zero-filled, so a clean log ends at a zero magic.
+//
+// A second record kind shares the layout with a different magic:
+// ownership (cutover) records, appended by the fleet's live-resharding
+// migrator. Their header reuses the page-id slot for the range's low
+// page and the length slot for the payload — [4B hi page][owner name]:
+//
+//	[0:4)   magic "WALO"
+//	[4:12)  LSN (same sequence as page records)
+//	[12:16) lo page id uint32 (inclusive)
+//	[16:20) payload length uint32
+//	[20:24) CRC-32C over bytes [0:20) plus the payload
+//	[24:)   [4B hi page id (exclusive)][owner member name]
+//
+// An ownership record durably marks a cutover: every page in [lo, hi)
+// whose rendezvous assignment under the post-join member set is the
+// named owner is, from this record on, served by that owner. Recovery
+// replays these in LSN order to rebuild the ownership table; pages in
+// ranges never cut stay with their pre-join owner — so at every crash
+// point each page has exactly one owner.
 const (
 	recMagic   = 0x57414C52 // "WALR"
+	ownMagic   = 0x57414C4F // "WALO"
 	recHdrSize = 24
 
 	// maxImage bounds the length field during scans, so a corrupt
@@ -176,6 +196,55 @@ func (w *Writer) Append(id disk.PageID, img []byte) (uint64, error) {
 	w.buf = append(w.buf, img...)
 	w.appends.Inc()
 	w.tr.WAL(trace.KindAppend, int64(id), lsn, int64(len(img)))
+	return lsn, nil
+}
+
+// AppendOwnership logs a cutover record: pages in [lo, hi) whose
+// rendezvous owner under the new member set is owner are cut over to
+// it. The record shares the log's LSN sequence with page images and is
+// buffered like them — the cutover is durable only after the next
+// Sync, and the migrator must not flip its in-memory routing before
+// that Sync returns (WAL-before-ownership, the resharding analogue of
+// WAL-before-data).
+func (w *Writer) AppendOwnership(lo, hi disk.PageID, owner string) (uint64, error) {
+	if hi <= lo {
+		return 0, fmt.Errorf("wal: ownership range [%d, %d) is empty", lo, hi)
+	}
+	if owner == "" {
+		return 0, errors.New("wal: ownership record needs an owner name")
+	}
+	if len(owner) > maxImage-4 {
+		return 0, fmt.Errorf("wal: owner name %d bytes long", len(owner))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	lsn := w.nextLSN
+	w.nextLSN++
+	w.appendedLSN = lsn
+
+	payload := make([]byte, 4+len(owner))
+	binary.LittleEndian.PutUint32(payload[0:], uint32(hi))
+	copy(payload[4:], owner)
+
+	var hdr [recHdrSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], ownMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], lsn)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(lo))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(payload)))
+	crc := crc32.Update(0, castagnoli, hdr[:20])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[20:], crc)
+
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, payload...)
+	w.appends.Inc()
+	w.tr.WAL(trace.KindAppend, int64(lo), lsn, int64(len(payload)))
 	return lsn, nil
 }
 

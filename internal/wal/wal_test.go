@@ -199,8 +199,8 @@ func TestOpenResumesLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []uint64
-	_, next, torn, err := scan(walDev, func(lsn uint64, id disk.PageID, img []byte) error {
-		got = append(got, lsn)
+	_, next, torn, err := scan(walDev, func(rec Record) error {
+		got = append(got, rec.LSN)
 		return nil
 	})
 	if err != nil || torn {
